@@ -1,0 +1,33 @@
+"""Shared fixtures for the experiment benchmarks.
+
+The DNS-backed benches (Figs. 1, 4, 5) share two short simulations run
+once per session: a box RBC case in a convective state and a cylinder
+case in the paper's geometry.  Both are laptop-scale stand-ins for the
+production runs; the benches compare *shapes*, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Simulation, rbc_box_case, rbc_cylinder_case
+
+
+@pytest.fixture(scope="session")
+def box_sim() -> Simulation:
+    """Box RBC at Ra = 1e5 advanced into (weakly turbulent) convection."""
+    config = rbc_box_case(1e5, n=(3, 3, 3), lx=6, aspect=2.0,
+                          perturbation_amplitude=0.1)
+    sim = Simulation(config)
+    sim.run(n_steps=220, stats_interval=20)
+    return sim
+
+
+@pytest.fixture(scope="session")
+def cyl_sim() -> Simulation:
+    """Cylinder RBC (the Fig. 1 geometry) after a short development time."""
+    config = rbc_cylinder_case(5e4, aspect=1.0, n_square=2, n_ring=2, n_z=5,
+                               lx=5, perturbation_amplitude=0.1)
+    sim = Simulation(config)
+    sim.run(n_steps=120, stats_interval=20)
+    return sim

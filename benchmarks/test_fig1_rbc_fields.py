@@ -1,0 +1,58 @@
+"""Fig. 1: the canonical RBC flow in a cylindrical cell.
+
+The paper's Fig. 1 visualizes convection in the cylinder (warm rising /
+cold falling fluid) with a cross-section AA near the heated bottom wall
+showing the velocity magnitude and temperature fields.  At laptop scale
+this bench runs the same geometry, checks the physical signatures the
+figure illustrates, and extracts the AA cross-section data.
+"""
+
+import numpy as np
+import pytest
+
+
+def test_fig1_convection_established(benchmark, cyl_sim, capsys):
+    s = benchmark(cyl_sim.sample_statistics)
+    with capsys.disabled():
+        print(f"\n=== Fig. 1 case: {cyl_sim.config.name} ===")
+        print(f"t = {cyl_sim.time:.2f}, Nu_vol = {s.nusselt.volume:.3f}, "
+              f"Re = {s.reynolds:.1f}, KE = {s.kinetic_energy:.3e}")
+    assert np.isfinite(s.nusselt.volume)
+    assert s.kinetic_energy > 0
+
+
+def test_fig1_warm_rises_cold_falls(benchmark, cyl_sim):
+    # The figure's message: buoyancy correlates uz with T.
+    uz = cyl_sim.velocity[2]
+    t = cyl_sim.temperature
+    corr = benchmark(lambda: cyl_sim.space.integrate(uz * t))
+    assert corr > 0.0
+
+
+def test_fig1_cross_section_aa(benchmark, cyl_sim, capsys):
+    # Slice near the heated bottom wall: temperature contrast and nonzero
+    # velocity magnitude, as the inset shows.
+    space = cyl_sim.space
+    z = space.z
+    sel = benchmark(lambda: np.abs(z - 0.15) < 0.08)
+    assert sel.any()
+    t_slice = cyl_sim.temperature[sel]
+    umag = np.sqrt(sum(c**2 for c in cyl_sim.velocity))[sel]
+    with capsys.disabled():
+        print(f"\nAA slice: T in [{t_slice.min():+.3f}, {t_slice.max():+.3f}], "
+              f"|u| up to {umag.max():.3f}")
+    assert t_slice.max() - t_slice.min() > 0.05
+    assert umag.max() > 1e-3
+
+
+def test_fig1_no_slip_walls_hold(benchmark, cyl_sim):
+    benchmark(cyl_sim.fluid.divergence_norm)
+    mask = cyl_sim.fluid.vel_mask
+    for comp in cyl_sim.velocity:
+        assert np.allclose(comp[mask == 0.0], 0.0, atol=1e-13)
+
+
+def test_fig1_step_cost(benchmark, cyl_sim):
+    # Time one coupled step of the cylinder case (the whole-application
+    # quantity Fig. 3 is built from).
+    benchmark.pedantic(cyl_sim.step, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,97 @@
+"""Fig. 2: serial vs task-parallel additive Schwarz preconditioner.
+
+The paper shows Nsight timelines of the two schedules on a 4x A100 node
+and reports ~20% wall-time reduction of the Schwarz phase over 50 steps,
+with stream priorities required on NVIDIA but not on AMD.  This bench
+runs the discrete-event simulation of both schedules on both device
+models and asserts those three findings.
+"""
+
+import pytest
+
+from repro.gpu import A100, MI250X_GCD, SchwarzOverlapStudy
+
+
+@pytest.fixture(scope="module")
+def a100_results():
+    return SchwarzOverlapStudy(A100).reduction(applications=50)
+
+
+@pytest.fixture(scope="module")
+def mi250x_results():
+    return SchwarzOverlapStudy(MI250X_GCD).reduction(applications=50)
+
+
+def test_fig2_reduction_a100(benchmark, a100_results, capsys):
+    study = SchwarzOverlapStudy(A100)
+    benchmark(lambda: study.reduction(applications=5))
+    r = a100_results
+    with capsys.disabled():
+        print("\n=== Fig. 2: Schwarz phase over 50 applications (A100) ===")
+        print(f"serial:      {r['serial_us'] / 1e3:8.2f} ms")
+        print(f"overlapped:  {r['overlap_us'] / 1e3:8.2f} ms")
+        print(f"reduction:   {r['reduction']:.1%}  (paper: ~20%)")
+        print(f"no-priority: {r['reduction_nopriority']:.1%}")
+        print(f"utilization: {r['serial_utilization']:.1%} -> {r['overlap_utilization']:.1%}")
+    # Paper: "approximate wall-time reduction ... is 20%".
+    assert 0.12 <= r["reduction"] <= 0.32
+
+
+def test_fig2_priorities_needed_on_nvidia(benchmark, a100_results):
+    study = SchwarzOverlapStudy(A100)
+    benchmark(lambda: study.run_overlapped(applications=2, priorities=False).wall_us)
+    r = a100_results
+    assert r["reduction_nopriority"] < 0.5 * r["reduction"]
+
+
+def test_fig2_priorities_not_needed_on_amd(benchmark, mi250x_results, capsys):
+    study = SchwarzOverlapStudy(MI250X_GCD)
+    benchmark(lambda: study.run_overlapped(applications=2).wall_us)
+    r = mi250x_results
+    with capsys.disabled():
+        print(f"\nMI250X GCD: reduction {r['reduction']:.1%}, "
+              f"without priorities {r['reduction_nopriority']:.1%}")
+    assert r["reduction_nopriority"] == pytest.approx(r["reduction"], abs=0.02)
+
+
+def test_fig2_utilization_improves(benchmark, a100_results):
+    study = SchwarzOverlapStudy(A100)
+    benchmark(lambda: study.run_serial(applications=2).utilization)
+    # "improved GPU utilization (fewer gaps)".
+    r = a100_results
+    assert r["overlap_utilization"] > r["serial_utilization"]
+    assert r["overlap_utilization"] > 0.9
+
+
+def test_fig2_stream_aware_mpi_prediction(benchmark, capsys):
+    # Section 5.3's footnote: stream-aware MPI (Namashivayam et al. [20])
+    # "would integrate well with our approach and we expect these to
+    # further improve efficiency" -- it was not available on the Cray
+    # systems used.  The DES quantifies the prediction: no change while
+    # the coarse path hides under the smoother, a further large win once
+    # strong scaling makes the latency-bound coarse path critical.
+    from repro.gpu.schwarz import SchwarzWorkload
+
+    deep = SchwarzOverlapStudy(A100, SchwarzWorkload(n_elements=1000))
+    r_deep = benchmark(lambda: deep.reduction(applications=5))
+    r_prod = SchwarzOverlapStudy(A100).reduction(applications=5)
+    with capsys.disabled():
+        print("\n=== stream-aware MPI (triggered ops) prediction ===")
+        print(f"7000 elem/GPU: overlap {r_prod['reduction']:.1%} -> "
+              f"stream-aware {r_prod['reduction_stream_aware']:.1%}")
+        print(f"1000 elem/GPU: overlap {r_deep['reduction']:.1%} -> "
+              f"stream-aware {r_deep['reduction_stream_aware']:.1%}")
+    assert r_deep["reduction_stream_aware"] > r_deep["reduction"] + 0.05
+    assert r_prod["reduction_stream_aware"] == pytest.approx(r_prod["reduction"], abs=0.01)
+
+
+def test_fig2_timeline_rendering(benchmark, capsys):
+    study = SchwarzOverlapStudy(A100)
+    ovl = study.run_overlapped(applications=1)
+    txt = benchmark(ovl.simulator.render_timeline, 90)
+    with capsys.disabled():
+        print("\n=== Fig. 2 timeline (task-parallel, one application) ===")
+        print(txt)
+    # Two streams and two host threads present, kernels overlap.
+    assert "stream0" in txt and "stream1" in txt
+    assert "host0" in txt and "host1" in txt

@@ -1,0 +1,81 @@
+"""Fig. 3: strong scaling of Neko on LUMI and Leonardo.
+
+The paper: average time per step for the 108M-element, degree-7 RBC case
+at 4096/8192/16384 GCDs on LUMI (20/40/80% of the machine) and 3456/6912
+A100s on Leonardo (25/50%), showing "close to perfect parallel
+efficiency" with fewer than 7,000 elements per logical GPU -- enabled by
+the overlapped pressure preconditioner.
+
+The bench regenerates both series from the performance model, runs the
+no-overlap ablation, and asserts the shape claims.
+"""
+
+import pytest
+
+from repro.perfmodel import LEONARDO, LUMI, SEMWorkModel, StrongScalingStudy
+
+
+@pytest.fixture(scope="module")
+def lumi_series():
+    st = StrongScalingStudy(LUMI)
+    return st, st.paper_series()
+
+
+@pytest.fixture(scope="module")
+def leonardo_series():
+    st = StrongScalingStudy(LEONARDO)
+    return st, st.paper_series()
+
+
+def test_fig3_lumi(benchmark, lumi_series, capsys):
+    st, pts = lumi_series
+    benchmark(lambda: st.time_per_step(16384))
+    with capsys.disabled():
+        print("\n=== Fig. 3 (LUMI series) ===")
+        print(st.render(pts))
+    assert [p.n_gpus for p in pts] == [4096, 8192, 16384]
+    # Near-perfect efficiency and the < 7000 elements/GPU headline.
+    assert pts[-1].parallel_efficiency > 0.85
+    assert pts[-1].elements_per_gpu < 7000
+    # Time per step halves (approximately) per doubling.
+    assert pts[1].time_per_step_s < 0.60 * pts[0].time_per_step_s
+    assert pts[2].time_per_step_s < 0.60 * pts[1].time_per_step_s
+
+
+def test_fig3_leonardo(benchmark, leonardo_series, capsys):
+    benchmark(lambda: leonardo_series[0].time_per_step(6912))
+    st, pts = leonardo_series
+    with capsys.disabled():
+        print("\n=== Fig. 3 (Leonardo series) ===")
+        print(st.render(pts))
+    assert [p.n_gpus for p in pts] == [3456, 6912]
+    assert pts[-1].parallel_efficiency > 0.90
+
+
+def test_fig3_performance_portability(benchmark, lumi_series, leonardo_series):
+    benchmark(lambda: lumi_series[0].time_per_step(8192))
+    # The same code model scales on both architectures (the paper's
+    # portability claim): both series stay above 85% efficiency.
+    for _, pts in (lumi_series, leonardo_series):
+        assert all(p.parallel_efficiency > 0.85 for p in pts)
+
+
+def test_fig3_overlap_ablation(benchmark, capsys):
+    on = StrongScalingStudy(LUMI)
+    off = StrongScalingStudy(LUMI, work=SEMWorkModel(overlap_preconditioner=False))
+    pts_on = benchmark(on.paper_series)
+    pts_off = off.paper_series()
+    with capsys.disabled():
+        print("\n=== Fig. 3 ablation: serial preconditioner ===")
+        print(off.render(pts_off))
+    # "The main reason for the improvements is the new overlapped pressure
+    # preconditioner": without it, the largest run loses efficiency.
+    assert pts_off[-1].parallel_efficiency < pts_on[-1].parallel_efficiency - 0.05
+    assert pts_off[-1].time_per_step_s > pts_on[-1].time_per_step_s
+
+
+def test_fig3_model_sanity_larger_counts_never_slower(benchmark):
+    st = StrongScalingStudy(LUMI)
+    pts = benchmark(st.sweep, [1024, 2048, 4096, 8192, 16384])
+    ts = [p.time_per_step_s for p in pts]
+    assert all(a > b for a, b in zip(ts, ts[1:]))

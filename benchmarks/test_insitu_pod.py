@@ -1,0 +1,94 @@
+"""Section 5.2: asynchronous in-situ streaming POD with low overhead.
+
+The paper streams data through ADIOS2 to a Python streaming-POD consumer
+"with a low impact on the simulation performance".  The bench feeds DNS
+temperature snapshots through the pipeline, checks the streaming result
+against a direct SVD, and measures the producer-side overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.insitu import InSituPipeline, PODProcessor, StreamingPOD, direct_pod
+
+
+@pytest.fixture(scope="module")
+def pod_sim():
+    """A dedicated small simulation (so other benches' fixtures stay put)."""
+    from repro.core import Simulation, rbc_box_case
+
+    cfg = rbc_box_case(1e5, n=(2, 2, 2), lx=5, aspect=2.0, perturbation_amplitude=0.15)
+    sim = Simulation(cfg)
+    sim.run(n_steps=80)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def snapshots(pod_sim):
+    """A short trajectory of temperature snapshots from the live solver."""
+    snaps = [pod_sim.temperature.copy()]
+    for _ in range(11):
+        pod_sim.run(n_steps=5)
+        snaps.append(pod_sim.temperature.copy())
+    return snaps
+
+
+def test_streaming_pod_matches_direct(benchmark, pod_sim, snapshots, capsys):
+    w = pod_sim.space.coef.mass.reshape(-1)
+    pod = StreamingPOD(n_modes=4, batch_size=4, weight=w)
+    for s in snapshots:
+        pod.push(s)
+    pod.finalize()
+    x = np.stack([s.reshape(-1) for s in snapshots], axis=1)
+    _, s_ref = benchmark(direct_pod, x, 4, w)
+    with capsys.disabled():
+        print("\n=== streaming POD vs direct SVD (singular values) ===")
+        print("streaming:", np.round(pod.singular_values, 6))
+        print("direct:   ", np.round(s_ref, 6))
+    assert np.allclose(pod.singular_values[:2], s_ref[:2], rtol=0.02)
+
+
+def test_pipeline_overhead_low(benchmark, snapshots, capsys):
+    def run():
+        pod = StreamingPOD(n_modes=4, batch_size=4)
+        pipe = InSituPipeline([PODProcessor(pod, "t")], max_queue=16).open()
+        for s in snapshots:
+            pipe.put("t", s)
+        return pipe.close()
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    overhead_per_item = stats.producer_wait / stats.items
+    with capsys.disabled():
+        print(f"\nproducer wait per snapshot: {overhead_per_item * 1e6:.1f} us "
+              f"({stats.items} items, {stats.bytes_in / 1e6:.1f} MB)")
+    # "low impact on the simulation performance": the producer must spend
+    # far less time enqueueing than a time step takes (~100 ms here).
+    assert overhead_per_item < 0.01
+
+
+def test_pod_energy_concentration(benchmark, pod_sim, snapshots):
+    # RBC temperature dynamics at fixed Ra are low-dimensional: the
+    # leading mode dominates.
+    def run():
+        pod = StreamingPOD(n_modes=6, batch_size=4,
+                           weight=pod_sim.space.coef.mass.reshape(-1))
+        for s in snapshots:
+            pod.push(s)
+        pod.finalize()
+        return pod
+
+    pod = benchmark(run)
+    sv = pod.singular_values
+    assert sv[0] > 5 * sv[1]
+
+
+def test_streaming_pod_throughput(benchmark, snapshots):
+    def run():
+        pod = StreamingPOD(n_modes=4, batch_size=4)
+        for s in snapshots:
+            pod.push(s)
+        pod.finalize()
+        return pod
+
+    pod = benchmark(run)
+    assert pod.n_seen == len(snapshots)

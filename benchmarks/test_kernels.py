@@ -1,0 +1,78 @@
+"""Solver kernel microbenchmarks (the roofline calibration set).
+
+Times the matrix-free kernels the performance model budgets -- Helmholtz
+ax, gather--scatter, dealiased advection, FDM local solve -- and reports
+their achieved effective bandwidth.  These are the numbers behind the
+``bandwidth_efficiency`` parameter of :class:`repro.perfmodel.SEMWorkModel`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.precond import FastDiagonalization
+from repro.sem.dealias import Dealiaser
+from repro.sem.mesh import box_mesh
+from repro.sem.operators import ax_helmholtz
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    # Production-like polynomial degree 7, modest element count.
+    return FunctionSpace(box_mesh((6, 6, 6)), 8)
+
+
+@pytest.fixture(scope="module")
+def u(sp):
+    rng = np.random.default_rng(0)
+    return rng.normal(size=sp.shape)
+
+
+def report_bw(capsys, name, nbytes, seconds):
+    with capsys.disabled():
+        print(f"\n{name}: {nbytes / seconds / 1e9:.2f} GB/s effective")
+
+
+def test_bench_ax_helmholtz(benchmark, sp, u, capsys):
+    result = benchmark(ax_helmholtz, u, sp.coef, sp.dx, 1.0, 10.0)
+    assert result.shape == sp.shape
+    # ~9 field-sized streams (u, out, 6 G arrays, mass).
+    nbytes = 9 * u.nbytes
+    report_bw(capsys, "ax_helmholtz", nbytes, benchmark.stats["mean"])
+
+
+def test_bench_gather_scatter(benchmark, sp, u, capsys):
+    result = benchmark(sp.gs.add, u)
+    assert result.shape == sp.shape
+    report_bw(capsys, "gather_scatter", 2 * u.nbytes, benchmark.stats["mean"])
+
+
+def test_bench_dealias_convection(benchmark, sp, u, capsys):
+    dl = Dealiaser(sp)
+    cx = cy = cz = u
+    cf = (dl.to_fine(cx), dl.to_fine(cy), dl.to_fine(cz))
+    result = benchmark(dl.convect_weak, cx, cy, cz, u, cf)
+    assert result.shape == sp.shape
+    fine_bytes = u.nbytes * (dl.lxd / sp.lx) ** 3
+    report_bw(capsys, "dealias_convect", 6 * fine_bytes, benchmark.stats["mean"])
+
+
+def test_bench_fdm_solve(benchmark, sp, u, capsys):
+    fdm = FastDiagonalization(sp)
+    result = benchmark(fdm.solve, u)
+    assert result.shape == sp.shape
+    report_bw(capsys, "fdm_solve", 6 * u.nbytes, benchmark.stats["mean"])
+
+
+def test_bench_full_pressure_preconditioner(benchmark, sp, u, capsys):
+    from repro.precond import HybridSchwarzMultigrid
+
+    hsmg = HybridSchwarzMultigrid(sp)
+    r = sp.gs.add(u)
+    result = benchmark(hsmg, r)
+    assert result.shape == sp.shape
+    with capsys.disabled():
+        t = hsmg.timing
+        print(f"\nhsmg: coarse {t.coarse / t.applications * 1e3:.2f} ms, "
+              f"schwarz {t.schwarz / t.applications * 1e3:.2f} ms per application "
+              f"(the Fig. 2 decomposition, measured)")

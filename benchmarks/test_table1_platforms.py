@@ -1,0 +1,49 @@
+"""Table 1: hardware and software details of the experimental platforms.
+
+Regenerates the paper's platform table from the machine registry and
+validates every printed value, plus the derived quantities the analysis
+relies on (GCD counting, machine fractions of the scaling runs, memory/
+flop balance).
+"""
+
+import pytest
+
+from repro.perfmodel import LEONARDO, LUMI, platform_table
+
+
+def test_table1_rendering(benchmark, capsys):
+    table = benchmark(platform_table)
+    with capsys.disabled():
+        print("\n=== Table 1 (regenerated) ===")
+        print(table)
+    # Every cell of the paper's table appears.
+    for token in (
+        "LUMI", "Leonardo",
+        "AMD MI250X", "NVIDIA A100",
+        "47.9", "9.7",
+        "3300", "1550",
+        "10240", "13824",
+        "HPE Slingshot 11", "Nvidia HDR",
+        "200 GbE NICs (4x200 Gb/s)", "2x(2x100 Gb/s)",
+        "Cray MPICH 8.1.18", "OpenMPI 4.1.4",
+        "CCE 14.0.2", "GCC 8.5.0",
+        "5.16.9.22.20", "520.61.05",
+        "ROCm 5.2.3", "CUDA 11.8",
+    ):
+        assert token in table, token
+
+
+def test_table1_derived_quantities(benchmark):
+    benchmark(lambda: (LUMI.machine_balance_bytes_per_flop, LEONARDO.injection_per_gpu_gbs))
+    # Machine fractions quoted in Section 7.1.
+    assert 4096 / LUMI.n_logical_gpus == pytest.approx(0.20)
+    assert 8192 / LUMI.n_logical_gpus == pytest.approx(0.40)
+    assert 16384 / LUMI.n_logical_gpus == pytest.approx(0.80)
+    assert 3456 / LEONARDO.n_logical_gpus == pytest.approx(0.25)
+    assert 6912 / LEONARDO.n_logical_gpus == pytest.approx(0.50)
+    # Rmax (Section 7): 309.10 and 174.70 PFlop/s, ranks 3 and 4.
+    assert LUMI.rmax_pflops == 309.10
+    assert LEONARDO.rmax_pflops == 174.70
+    # Both machines offer < 0.2 bytes/flop -- the matrix-free argument.
+    assert LUMI.machine_balance_bytes_per_flop < 0.2
+    assert LEONARDO.machine_balance_bytes_per_flop < 0.2

@@ -1,0 +1,96 @@
+"""Section 8.1: the Nu(Ra) scaling question the workflow exists to settle.
+
+Combines DNS at laptop Ra with the Grossmann-Lohse classical branch and
+the Kraichnan ultimate branch, then runs the analysis the paper's future
+production data will face: power-law fits, the local exponent
+gamma(Ra) = d ln Nu / d ln Ra, and crossover detection.
+
+Shape claims asserted: the classical branch fits gamma ~ 1/3 (Iyer et
+al.'s 0.331 within tolerance), the composite curve leaves the classical
+plateau beyond Ra ~ 1e13, and the detected crossover lands in the
+contested 1e13-1e15 window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GrossmannLohse,
+    UltimateExtension,
+    detect_crossover,
+    fit_power_law,
+    local_exponents,
+)
+from repro.core import compute_nusselt
+
+
+@pytest.fixture(scope="module")
+def gl():
+    return GrossmannLohse()
+
+
+@pytest.fixture(scope="module")
+def composite(gl):
+    ue = UltimateExtension(gl=gl)
+    ra = np.logspace(8, 17, 37)
+    return ue, ra, ue.nusselt(ra)
+
+
+def test_dns_point_consistent_with_gl(benchmark, box_sim, gl, capsys):
+    s = benchmark(box_sim.sample_statistics)
+    nu_dns = s.nusselt.volume
+    nu_gl = gl.solve(box_sim.config.rayleigh)[0]
+    with capsys.disabled():
+        print(f"\nDNS at Ra = {box_sim.config.rayleigh:g}: Nu = {nu_dns:.2f} "
+              f"(GL theory: {nu_gl:.2f})")
+    # Coarse DNS within a factor ~2 of theory (resolution-limited).
+    assert 0.4 < nu_dns / nu_gl < 2.5
+
+
+def test_classical_branch_exponent(benchmark, gl, capsys):
+    ra = np.logspace(9, 15, 13)
+    fit = benchmark.pedantic(lambda: fit_power_law(ra, gl.nusselt(ra)), rounds=2, iterations=1)
+    with capsys.disabled():
+        print(f"\nclassical fit over [1e9, 1e15]: Nu = {fit.prefactor:.4f} "
+              f"Ra^{fit.exponent:.4f}  (Iyer et al.: 0.0525 Ra^0.331)")
+    assert fit.exponent == pytest.approx(0.331, abs=0.025)
+    assert fit.r_squared > 0.999
+
+
+def test_ultimate_crossover_window(benchmark, composite, capsys):
+    ue, ra, nu = composite
+    cx_branch = benchmark.pedantic(ue.crossover_ra, rounds=2, iterations=1)
+    cx_detected = detect_crossover(ra, nu)
+    with capsys.disabled():
+        print(f"\nbranch crossover: Ra = {cx_branch:.2e}; "
+              f"detected (gamma > 5/12): Ra = {cx_detected:.2e}")
+    assert 1e13 < cx_branch < 1e15
+    assert cx_detected is not None
+    assert 1e12 < cx_detected < 1e16
+
+
+def test_local_exponent_plateaus(benchmark, composite, capsys):
+    _, ra, nu = composite
+    ra_mid, gamma = benchmark(local_exponents, ra, nu)
+    with capsys.disabled():
+        print("\ngamma(Ra):")
+        for r, g in zip(ra_mid[::6], gamma[::6]):
+            print(f"  Ra = {r:8.1e}  gamma = {g:.3f}")
+    low = gamma[ra_mid < 1e11]
+    high = gamma[ra_mid > 3e15]
+    assert np.all(low < 0.36)
+    assert np.all(high > 0.42)
+
+
+def test_iyer_conclusion_reproducible(benchmark, gl):
+    # "Classical 1/3 scaling of convection holds up to Ra = 1e15": on the
+    # pure GL branch no crossover is detected through 1e15.
+    ra = np.logspace(10, 15, 11)
+    nus = gl.nusselt(ra)
+    assert benchmark(detect_crossover, ra, nus) is None
+
+
+def test_gl_solve_benchmark(benchmark, gl):
+    nu, re = benchmark(gl.solve, 1e12, 1.0)
+    assert nu > 100
+    assert re > 1e4

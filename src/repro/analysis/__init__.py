@@ -1,0 +1,60 @@
+"""Physics analysis: the ultimate-regime question (Sections 3 and 8.1).
+
+The paper's scientific goal is the scaling of Nu with Ra: classical
+``Nu ~ Ra^{1/3}`` versus Kraichnan's ultimate ``Nu ~ Ra^{1/2}`` (with
+logarithmic corrections).  This package provides:
+
+* power-law fitting and local-exponent analysis of Nu(Ra) series, plus
+  crossover detection (:mod:`repro.analysis.regimes`);
+* a Grossmann--Lohse-theory generator of synthetic Nu(Ra, Pr) data with an
+  optional ultimate-regime extension -- the documented substitution for
+  the Ra > 1e12 simulations no laptop can run
+  (:mod:`repro.analysis.gl_model`);
+* energy spectra of box-mesh fields and Kolmogorov/Batchelor scale
+  estimates (:mod:`repro.analysis.spectra`);
+* horizontally averaged profiles and boundary-layer thickness diagnostics
+  (:mod:`repro.analysis.profiles`).
+"""
+
+from repro.analysis.regimes import (
+    PowerLawFit,
+    fit_power_law,
+    local_exponents,
+    detect_crossover,
+    classical_nu,
+    ultimate_nu,
+)
+from repro.analysis.gl_model import GrossmannLohse, UltimateExtension
+from repro.analysis.spectra import sample_uniform_box, energy_spectrum, kolmogorov_scale
+from repro.analysis.profiles import mean_profile, thermal_bl_thickness
+from repro.analysis.error_indicator import spectral_error_indicator, underresolved_elements
+from repro.analysis.derived import (
+    EnergyBudget,
+    enstrophy,
+    kinetic_energy_budget,
+    q_criterion,
+    vorticity,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "local_exponents",
+    "detect_crossover",
+    "classical_nu",
+    "ultimate_nu",
+    "GrossmannLohse",
+    "UltimateExtension",
+    "sample_uniform_box",
+    "energy_spectrum",
+    "kolmogorov_scale",
+    "mean_profile",
+    "thermal_bl_thickness",
+    "spectral_error_indicator",
+    "underresolved_elements",
+    "EnergyBudget",
+    "enstrophy",
+    "kinetic_energy_budget",
+    "q_criterion",
+    "vorticity",
+]

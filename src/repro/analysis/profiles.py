@@ -1,0 +1,63 @@
+"""Horizontally averaged profiles and boundary-layer diagnostics.
+
+RBC statistics live in ``z``: the mean temperature profile shows the two
+thermal boundary layers whose thickness ``lambda_T ~ H / (2 Nu)`` controls
+the transport, and whose laminar-to-turbulent transition is the mechanism
+behind the ultimate regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sem.space import FunctionSpace
+
+__all__ = ["mean_profile", "thermal_bl_thickness"]
+
+
+def mean_profile(
+    space: FunctionSpace, field: np.ndarray, decimals: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mass-weighted horizontal average as a function of ``z``.
+
+    GLL nodes are grouped by their (rounded) ``z`` coordinate; each group's
+    average is weighted with the nodal mass, which makes the profile exact
+    for the discrete integrand on any conforming mesh (box or cylinder).
+    Returns ``(z_levels, profile)`` sorted in increasing ``z``.
+    """
+    z = np.round(space.z.reshape(-1), decimals)
+    w = space.coef.mass.reshape(-1)
+    f = field.reshape(-1)
+    levels, inverse = np.unique(z, return_inverse=True)
+    wsum = np.bincount(inverse, weights=w)
+    fsum = np.bincount(inverse, weights=w * f)
+    return levels, fsum / wsum
+
+
+def thermal_bl_thickness(
+    z: np.ndarray, t_profile: np.ndarray, wall: str = "bottom"
+) -> float:
+    """Slope-intersection boundary-layer thickness.
+
+    The tangent to the mean temperature profile at the wall is extended
+    until it meets the bulk (centre) temperature; the intersection height
+    is the thermal BL thickness, the standard definition in the RBC
+    literature (``lambda_T ~= H / (2 Nu)`` in a steady state).
+    """
+    z = np.asarray(z, dtype=np.float64)
+    t = np.asarray(t_profile, dtype=np.float64)
+    if len(z) < 3:
+        raise ValueError("profile too short")
+    t_bulk = float(t[np.argmin(np.abs(z - 0.5 * (z[0] + z[-1])))])
+    if wall == "bottom":
+        slope = (t[1] - t[0]) / (z[1] - z[0])
+        t_wall = t[0]
+    elif wall == "top":
+        slope = (t[-1] - t[-2]) / (z[-1] - z[-2])
+        t_wall = t[-1]
+    else:
+        raise ValueError("wall must be 'bottom' or 'top'")
+    if slope == 0.0:
+        raise ValueError("zero wall gradient; no boundary layer")
+    # Tangent from the wall meets the bulk value at distance |dT| / |slope|.
+    return float(abs((t_bulk - t_wall) / slope))

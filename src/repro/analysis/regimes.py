@@ -1,0 +1,127 @@
+"""Nu(Ra) scaling laws, fits and crossover detection.
+
+Reference behaviours:
+
+* classical: ``Nu = A Ra^(1/3)`` -- boundary-layer-limited transport, the
+  scaling Iyer et al. (2020) found to hold up to Ra = 1e15 in the slender
+  cell (their fit: ``Nu ~ 0.0525 Ra^0.331``);
+* ultimate (Kraichnan 1962): ``Nu = B Ra^(1/2) / (ln Ra)^(3/2)`` once the
+  boundary layers turn turbulent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "local_exponents",
+    "detect_crossover",
+    "classical_nu",
+    "ultimate_nu",
+]
+
+
+def classical_nu(ra: np.ndarray, prefactor: float = 0.0525, exponent: float = 1.0 / 3.0) -> np.ndarray:
+    """Classical-regime Nusselt number."""
+    return prefactor * np.asarray(ra, dtype=np.float64) ** exponent
+
+
+def ultimate_nu(ra: np.ndarray, prefactor: float = 0.0365, log_correction: bool = True) -> np.ndarray:
+    """Kraichnan ultimate-regime Nusselt number.
+
+    With ``log_correction`` the ``(ln Ra)^{-3/2}`` factor of Kraichnan's
+    1962 prediction is applied; the default prefactor places the crossover
+    against the classical branch near Ra ~ 1e14, inside the window the
+    recent literature argues about.
+    """
+    ra = np.asarray(ra, dtype=np.float64)
+    nu = prefactor * ra**0.5
+    if log_correction:
+        nu = nu / np.log(ra) ** 1.5
+    return nu
+
+
+@dataclass
+class PowerLawFit:
+    """Result of a log-log least-squares fit ``Nu = A Ra^gamma``."""
+
+    prefactor: float
+    exponent: float
+    exponent_stderr: float
+    r_squared: float
+
+    def predict(self, ra: np.ndarray) -> np.ndarray:
+        return self.prefactor * np.asarray(ra, dtype=np.float64) ** self.exponent
+
+
+def fit_power_law(ra: np.ndarray, nu: np.ndarray) -> PowerLawFit:
+    """Least-squares fit of ``log Nu`` against ``log Ra``."""
+    ra = np.asarray(ra, dtype=np.float64)
+    nu = np.asarray(nu, dtype=np.float64)
+    if len(ra) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(ra <= 0) or np.any(nu <= 0):
+        raise ValueError("Ra and Nu must be positive")
+    x = np.log(ra)
+    y = np.log(nu)
+    a = np.vstack([x, np.ones_like(x)]).T
+    coef, res, _, _ = np.linalg.lstsq(a, y, rcond=None)
+    gamma, loga = coef
+    yhat = a @ coef
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    n = len(x)
+    if n > 2 and ss_res > 0:
+        sigma2 = ss_res / (n - 2)
+        sxx = float(np.sum((x - x.mean()) ** 2))
+        stderr = float(np.sqrt(sigma2 / sxx))
+    else:
+        stderr = 0.0
+    return PowerLawFit(float(np.exp(loga)), float(gamma), stderr, r2)
+
+
+def local_exponents(ra: np.ndarray, nu: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Running local exponent ``d ln Nu / d ln Ra`` (centered differences).
+
+    Returns ``(ra_mid, gamma_local)``; the classical and ultimate regimes
+    show up as plateaus near 1/3 and 1/2.
+    """
+    ra = np.asarray(ra, dtype=np.float64)
+    nu = np.asarray(nu, dtype=np.float64)
+    if len(ra) < 3:
+        raise ValueError("need at least three points for local exponents")
+    x = np.log(ra)
+    y = np.log(nu)
+    gamma = (y[2:] - y[:-2]) / (x[2:] - x[:-2])
+    ra_mid = np.exp(x[1:-1])
+    return ra_mid, gamma
+
+
+def detect_crossover(
+    ra: np.ndarray,
+    nu: np.ndarray,
+    gamma_threshold: float = 5.0 / 12.0,
+) -> float | None:
+    """First Ra where the local exponent rises above the threshold.
+
+    The default threshold is the midpoint of 1/3 and 1/2.  Returns ``None``
+    when the series never leaves the classical regime (the Iyer et al.
+    conclusion up to 1e15).
+    """
+    ra_mid, gamma = local_exponents(ra, nu)
+    above = np.flatnonzero(gamma >= gamma_threshold)
+    if len(above) == 0:
+        return None
+    i = above[0]
+    if i == 0:
+        return float(ra_mid[0])
+    # Log-linear interpolation to the threshold crossing.
+    g0, g1 = gamma[i - 1], gamma[i]
+    x0, x1 = np.log(ra_mid[i - 1]), np.log(ra_mid[i])
+    frac = (gamma_threshold - g0) / (g1 - g0) if g1 != g0 else 0.5
+    return float(np.exp(x0 + frac * (x1 - x0)))

@@ -1,0 +1,39 @@
+"""Device abstraction layer (Section 5.1).
+
+Neko hides CUDA/HIP/OpenCL behind a device layer that manages memory,
+transfers and kernel launches, keeping the solver stack hardware-neutral.
+This package reproduces that architecture in Python:
+
+* :class:`~repro.backend.device.Device` -- the abstract interface
+  (allocate, transfer, launch, synchronize, streams);
+* :class:`~repro.backend.cpu.CpuDevice` -- the host backend executing
+  kernels immediately with NumPy;
+* :class:`~repro.backend.instrumented.InstrumentedDevice` -- a decorator
+  backend recording every launch (name, bytes, wall time), used to
+  calibrate the roofline constants of the performance model;
+* :class:`~repro.backend.simgpu.SimulatedGpuDevice` -- executes with NumPy
+  for correctness while advancing a *simulated* device clock from a
+  :class:`~repro.gpu.device.GpuModel`, so whole solver phases can be
+  "timed" as if they ran on an A100 or MI250X GCD.
+
+Backends register by name (``cpu``, ``sim:a100``, ...), mirroring Neko's
+runtime backend selection.
+"""
+
+from repro.backend.device import Device, DeviceArray, KernelRecord
+from repro.backend.cpu import CpuDevice
+from repro.backend.instrumented import InstrumentedDevice
+from repro.backend.simgpu import SimulatedGpuDevice
+from repro.backend.registry import available_backends, get_backend, register_backend
+
+__all__ = [
+    "Device",
+    "DeviceArray",
+    "KernelRecord",
+    "CpuDevice",
+    "InstrumentedDevice",
+    "SimulatedGpuDevice",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,51 @@
+"""Host backend: immediate NumPy execution."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.backend.device import Device, DeviceArray
+
+__all__ = ["CpuDevice"]
+
+
+class CpuDevice(Device):
+    """The reference backend: kernels run synchronously on the host."""
+
+    name = "cpu"
+
+    def __init__(self) -> None:
+        self._allocated = 0
+
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> DeviceArray:
+        arr = DeviceArray(self, np.empty(shape, dtype=dtype))
+        self._allocated += arr.nbytes
+        return arr
+
+    def to_device(self, host: np.ndarray) -> DeviceArray:
+        arr = DeviceArray(self, np.array(host, copy=True))
+        self._allocated += arr.nbytes
+        return arr
+
+    def to_host(self, arr: DeviceArray) -> np.ndarray:
+        self.check_owned(arr)
+        return arr.data.copy()
+
+    def launch(
+        self,
+        name: str,
+        fn: Callable[..., None],
+        *arrays: DeviceArray,
+        stream: int = 0,
+    ) -> None:
+        self.check_owned(*arrays)
+        fn(*(a.data for a in arrays))
+
+    def synchronize(self, stream: int | None = None) -> None:
+        """Host execution is synchronous; nothing to wait for."""
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated

@@ -1,0 +1,105 @@
+"""The abstract device interface and device-array handle.
+
+The contract mirrors Neko's ``device`` module: explicit allocation,
+explicit host<->device transfers, named kernel launches and stream
+synchronization.  Kernels are plain Python callables operating on the
+underlying NumPy buffers -- the abstraction is about *bookkeeping*
+(where data lives, what was launched, what it cost), which is the part
+the paper's portability argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Device", "DeviceArray", "KernelRecord"]
+
+
+@dataclass
+class KernelRecord:
+    """One recorded kernel launch."""
+
+    name: str
+    bytes_touched: int
+    wall_seconds: float
+    stream: int = 0
+
+
+class DeviceArray:
+    """Handle to memory owned by a device.
+
+    The ``data`` buffer must only be touched through the owning device's
+    methods (or kernels launched on it); reading it from the host requires
+    an explicit :meth:`Device.to_host`.
+    """
+
+    def __init__(self, device: "Device", data: np.ndarray) -> None:
+        self.device = device
+        self.data = data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceArray(shape={self.shape}, device={self.device.name})"
+
+
+class Device:
+    """Abstract compute device."""
+
+    name = "abstract"
+
+    # -- memory ------------------------------------------------------------
+
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> DeviceArray:
+        """Allocate uninitialized device memory."""
+        raise NotImplementedError
+
+    def to_device(self, host: np.ndarray) -> DeviceArray:
+        """Copy a host array to the device."""
+        raise NotImplementedError
+
+    def to_host(self, arr: DeviceArray) -> np.ndarray:
+        """Copy device memory back to a fresh host array."""
+        raise NotImplementedError
+
+    # -- execution -----------------------------------------------------------
+
+    def launch(
+        self,
+        name: str,
+        fn: Callable[..., None],
+        *arrays: DeviceArray,
+        stream: int = 0,
+    ) -> None:
+        """Launch a kernel: ``fn`` receives the raw buffers of ``arrays``.
+
+        Kernels must write only into buffers they were handed (no
+        allocation inside kernels -- the discipline GPU codes live by).
+        """
+        raise NotImplementedError
+
+    def synchronize(self, stream: int | None = None) -> None:
+        """Block until outstanding work (on one stream or all) completes."""
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        raise NotImplementedError
+
+    def check_owned(self, *arrays: DeviceArray) -> None:
+        """Guard against mixing arrays across devices."""
+        for a in arrays:
+            if a.device is not self:
+                raise ValueError(
+                    f"array on device {a.device.name!r} passed to {self.name!r}"
+                )

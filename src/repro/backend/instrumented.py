@@ -1,0 +1,86 @@
+"""Instrumented backend: records every launch for model calibration."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.backend.device import Device, DeviceArray, KernelRecord
+
+__all__ = ["InstrumentedDevice"]
+
+
+class InstrumentedDevice(Device):
+    """Wraps another device, recording (name, bytes, wall time) per launch.
+
+    The byte count is the total size of the arrays handed to the kernel --
+    the quantity a bandwidth-bound roofline model needs.  Records feed the
+    calibration path of :mod:`repro.perfmodel`.
+    """
+
+    def __init__(self, inner: Device) -> None:
+        self.inner = inner
+        self.name = f"instrumented({inner.name})"
+        self.records: list[KernelRecord] = []
+
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> DeviceArray:
+        arr = self.inner.allocate(shape, dtype)
+        arr.device = self
+        return arr
+
+    def to_device(self, host: np.ndarray) -> DeviceArray:
+        arr = self.inner.to_device(host)
+        arr.device = self
+        return arr
+
+    def to_host(self, arr: DeviceArray) -> np.ndarray:
+        self.check_owned(arr)
+        arr.device = self.inner
+        try:
+            return self.inner.to_host(arr)
+        finally:
+            arr.device = self
+
+    def launch(
+        self,
+        name: str,
+        fn: Callable[..., None],
+        *arrays: DeviceArray,
+        stream: int = 0,
+    ) -> None:
+        self.check_owned(*arrays)
+        nbytes = sum(a.nbytes for a in arrays)
+        for a in arrays:
+            a.device = self.inner
+        t0 = time.perf_counter()
+        try:
+            self.inner.launch(name, fn, *arrays, stream=stream)
+        finally:
+            dt = time.perf_counter() - t0
+            for a in arrays:
+                a.device = self
+        self.records.append(KernelRecord(name, nbytes, dt, stream))
+
+    def synchronize(self, stream: int | None = None) -> None:
+        self.inner.synchronize(stream)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.inner.allocated_bytes
+
+    # -- analysis -------------------------------------------------------------
+
+    def totals_by_kernel(self) -> dict[str, tuple[int, int, float]]:
+        """``name -> (launches, total bytes, total seconds)``."""
+        out: dict[str, tuple[int, int, float]] = {}
+        for r in self.records:
+            n, b, t = out.get(r.name, (0, 0, 0.0))
+            out[r.name] = (n + 1, b + r.bytes_touched, t + r.wall_seconds)
+        return out
+
+    def measured_bandwidth_gbs(self, name: str) -> float:
+        """Effective bandwidth of one kernel over all its launches."""
+        n, b, t = self.totals_by_kernel()[name]
+        return b / t / 1e9 if t > 0 else 0.0

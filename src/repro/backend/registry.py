@@ -1,0 +1,40 @@
+"""Backend registry: runtime selection by name, as in Neko's build system."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backend.cpu import CpuDevice
+from repro.backend.device import Device
+from repro.backend.instrumented import InstrumentedDevice
+from repro.backend.simgpu import SimulatedGpuDevice
+from repro.gpu.device import A100, MI250X_GCD
+
+__all__ = ["register_backend", "get_backend", "available_backends"]
+
+_FACTORIES: dict[str, Callable[[], Device]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Device]) -> None:
+    """Register a backend factory under a name (overwrites existing)."""
+    _FACTORIES[name] = factory
+
+
+def get_backend(name: str) -> Device:
+    """Construct a backend by name; raises ``KeyError`` with the options."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+register_backend("cpu", CpuDevice)
+register_backend("cpu:instrumented", lambda: InstrumentedDevice(CpuDevice()))
+register_backend("sim:a100", lambda: SimulatedGpuDevice(A100))
+register_backend("sim:mi250x", lambda: SimulatedGpuDevice(MI250X_GCD))

@@ -1,0 +1,104 @@
+"""Simulated-GPU backend: NumPy correctness, modelled device timing.
+
+Kernels execute on the host (results are bit-identical to the CPU
+backend), but every launch advances a simulated per-stream clock using a
+:class:`~repro.gpu.device.GpuModel`: host launch overhead, submit latency
+and the roofline duration for the bytes touched.  ``simulated_time_us``
+then reads off what the sequence *would* have cost on the modelled GPU --
+the bridge between the real Python solver and the extreme-scale
+performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.backend.device import Device, DeviceArray, KernelRecord
+from repro.gpu.device import GpuModel
+
+__all__ = ["SimulatedGpuDevice"]
+
+
+class SimulatedGpuDevice(Device):
+    """NumPy execution + simulated GPU clock."""
+
+    def __init__(self, model: GpuModel) -> None:
+        self.model = model
+        self.name = f"sim:{model.name}"
+        self._allocated = 0
+        self._host_clock_us = 0.0
+        self._stream_clock_us: dict[int, float] = {}
+        self.records: list[KernelRecord] = []
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+
+    # -- memory ------------------------------------------------------------
+
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> DeviceArray:
+        arr = DeviceArray(self, np.empty(shape, dtype=dtype))
+        self._allocated += arr.nbytes
+        return arr
+
+    def to_device(self, host: np.ndarray) -> DeviceArray:
+        arr = DeviceArray(self, np.array(host, copy=True))
+        self._allocated += arr.nbytes
+        self.h2d_bytes += arr.nbytes
+        # PCIe-ish transfer cost on the host clock.
+        self._host_clock_us += arr.nbytes / 25e9 * 1e6
+        return arr
+
+    def to_host(self, arr: DeviceArray) -> np.ndarray:
+        self.check_owned(arr)
+        self.d2h_bytes += arr.nbytes
+        self.synchronize()
+        self._host_clock_us += arr.nbytes / 25e9 * 1e6
+        return arr.data.copy()
+
+    # -- execution -----------------------------------------------------------
+
+    def launch(
+        self,
+        name: str,
+        fn: Callable[..., None],
+        *arrays: DeviceArray,
+        stream: int = 0,
+    ) -> None:
+        self.check_owned(*arrays)
+        fn(*(a.data for a in arrays))  # immediate numerical effect
+
+        nbytes = sum(a.nbytes for a in arrays)
+        duration = self.model.kernel_duration_us(nbytes)
+        self._host_clock_us += self.model.launch_overhead_us
+        start = max(
+            self._host_clock_us + self.model.submit_delay_us,
+            self._stream_clock_us.get(stream, 0.0),
+        )
+        self._stream_clock_us[stream] = start + duration
+        self.records.append(KernelRecord(name, nbytes, duration * 1e-6, stream))
+
+    def synchronize(self, stream: int | None = None) -> None:
+        if stream is None:
+            target = max(self._stream_clock_us.values(), default=0.0)
+        else:
+            target = self._stream_clock_us.get(stream, 0.0)
+        self._host_clock_us = max(self._host_clock_us, target)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def simulated_time_us(self) -> float:
+        """Simulated wall time once all streams drain."""
+        return max(
+            self._host_clock_us, max(self._stream_clock_us.values(), default=0.0)
+        )
+
+    def reset_clock(self) -> None:
+        self._host_clock_us = 0.0
+        self._stream_clock_us.clear()
+        self.records.clear()

@@ -1,0 +1,31 @@
+"""In-process MPI-rank simulation and domain decomposition.
+
+The paper runs one MPI rank per logical GPU with a topology-aware
+two-phase gather--scatter (local phase within the rank, shared phase over
+the network).  This package reproduces that structure in one process:
+
+* :class:`~repro.comm.simworld.SimWorld` -- a world of N simulated ranks
+  with collective operations over per-rank data and full traffic
+  accounting (message counts, bytes, reduction counts), which feeds the
+  network side of the performance model;
+* :mod:`repro.comm.partition` -- element partitioning (linear and
+  recursive coordinate bisection) with halo-quality metrics;
+* :class:`~repro.comm.distributed_gs.DistributedGatherScatter` -- the
+  two-phase gather--scatter over a partition, verified against the
+  single-rank operator.
+"""
+
+from repro.comm.simworld import SimWorld, TrafficStats
+from repro.comm.partition import linear_partition, rcb_partition, partition_quality
+from repro.comm.distributed_gs import DistributedGatherScatter
+from repro.comm.distributed_solver import DistributedConjugateGradient
+
+__all__ = [
+    "SimWorld",
+    "TrafficStats",
+    "linear_partition",
+    "rcb_partition",
+    "partition_quality",
+    "DistributedGatherScatter",
+    "DistributedConjugateGradient",
+]

@@ -1,0 +1,270 @@
+"""Two-phase distributed gather--scatter over a simulated partition.
+
+The structure follows the paper's description: "the gather-scatter is ...
+carried out in two phases, one for the local and one for the shared
+elements between different MPI ranks".
+
+Phase 1 (local): each rank reduces its own copies of every node it holds
+(a rank-local ``bincount``).
+
+Phase 2 (shared): nodes with copies on multiple ranks exchange their
+partial sums point-to-point with the owner rank, which reduces in rank
+order (deterministic!) and returns the result.  Traffic flows through a
+:class:`~repro.comm.simworld.SimWorld`, so the message/byte counters can
+be asserted on and fed to the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.simworld import SimWorld
+
+__all__ = ["DistributedGatherScatter"]
+
+
+class DistributedGatherScatter:
+    """Gather--scatter split across simulated ranks.
+
+    Parameters
+    ----------
+    global_ids:
+        Flat node numbering of the *whole* space (as built by the
+        single-rank :class:`~repro.sem.gather_scatter.GatherScatter`).
+    owner:
+        Rank per element.
+    shape:
+        Elementwise shape ``(nelv, lx, lx, lx)`` of the full field.
+    world:
+        The rank world (supplies traffic accounting).
+    """
+
+    def __init__(
+        self,
+        global_ids: np.ndarray,
+        owner: np.ndarray,
+        shape: tuple[int, ...],
+        world: SimWorld,
+    ) -> None:
+        self.world = world
+        self.shape = tuple(shape)
+        nelv = self.shape[0]
+        pts = int(np.prod(self.shape[1:]))
+        self.owner = np.asarray(owner, dtype=np.int64)
+        if len(self.owner) != nelv:
+            raise ValueError("owner must have one entry per element")
+        if int(self.owner.max()) + 1 > world.size:
+            raise ValueError("partition uses more ranks than the world has")
+
+        ids = np.asarray(global_ids, dtype=np.int64).reshape(nelv, pts)
+        self.n_global = int(ids.max()) + 1
+
+        # Per-rank element lists and local numbering.
+        self.rank_elements = [np.flatnonzero(self.owner == r) for r in range(world.size)]
+        self.local_ids: list[np.ndarray] = []
+        self.local_unique: list[np.ndarray] = []  # local slot -> global id
+        for r in range(world.size):
+            gid = ids[self.rank_elements[r]].reshape(-1)
+            uniq, inv = np.unique(gid, return_inverse=True)
+            self.local_unique.append(uniq)
+            self.local_ids.append(inv)
+
+        # Which global ids are shared between ranks, and who holds them.
+        holders: dict[int, list[int]] = {}
+        for r in range(world.size):
+            for g in self.local_unique[r]:
+                holders.setdefault(int(g), []).append(r)
+        self.shared_ids = np.array(
+            sorted(g for g, hs in holders.items() if len(hs) > 1), dtype=np.int64
+        )
+        self.shared_owner = {
+            int(g): holders[int(g)][0] for g in self.shared_ids
+        }  # lowest rank owns
+        self.shared_holders = {int(g): holders[int(g)] for g in self.shared_ids}
+
+        # Per-rank index of its shared slots (positions into local_unique).
+        self.rank_shared_slots: list[np.ndarray] = []
+        shared_set = set(int(g) for g in self.shared_ids)
+        for r in range(world.size):
+            mask = np.fromiter(
+                (int(g) in shared_set for g in self.local_unique[r]),
+                count=len(self.local_unique[r]),
+                dtype=bool,
+            )
+            self.rank_shared_slots.append(np.flatnonzero(mask))
+
+        self.n_shared = len(self.shared_ids)
+
+    # -- data layout helpers ---------------------------------------------------
+
+    def scatter_field(self, u: np.ndarray) -> list[np.ndarray]:
+        """Split a full elementwise field into per-rank chunks."""
+        if u.shape != self.shape:
+            raise ValueError(f"field shape {u.shape} != {self.shape}")
+        return [u[self.rank_elements[r]].copy() for r in range(self.world.size)]
+
+    def gather_field(self, chunks: list[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank chunks into a full elementwise field."""
+        out = np.empty(self.shape)
+        for r, chunk in enumerate(chunks):
+            out[self.rank_elements[r]] = chunk
+        return out
+
+    # -- the operation -----------------------------------------------------------
+
+    def add(self, chunks: list[np.ndarray], algorithm: str = "two_phase") -> list[np.ndarray]:
+        """Distributed dssum; returns new per-rank chunks.
+
+        ``algorithm`` selects the shared-phase communication pattern:
+
+        * ``"two_phase"`` -- partial sums travel to the owner rank, which
+          reduces and replies (two communication rounds, fewest messages);
+        * ``"one_sided"`` -- every holder *puts* its partials directly into
+          all other holders' windows and each reduces locally (one round,
+          more messages) -- the Coarray-Fortran/SHMEM style gather-scatter
+          the paper reports as under development.
+
+        Both produce bit-identical results (reduction in rank order).
+        """
+        if algorithm == "one_sided":
+            return self._add_one_sided(chunks)
+        if algorithm != "two_phase":
+            raise ValueError(f"unknown gather-scatter algorithm {algorithm!r}")
+        world = self.world
+        # Phase 1: rank-local reduction.
+        local_sums = self._local_sums(chunks)
+
+        # Phase 2: exchange partial sums of shared nodes with the owners.
+        sends: dict[tuple[int, int], np.ndarray] = {}
+        for r in range(world.size):
+            slots = self.rank_shared_slots[r]
+            if len(slots) == 0:
+                continue
+            gids = self.local_unique[r][slots]
+            vals = local_sums[r][slots]
+            by_owner: dict[int, list[tuple[int, float]]] = {}
+            for g, v in zip(gids, vals):
+                o = self.shared_owner[int(g)]
+                by_owner.setdefault(o, []).append((int(g), float(v)))
+            for o, pairs in by_owner.items():
+                arr = np.array(pairs, dtype=np.float64)
+                sends[(r, o)] = arr
+        delivered = world.exchange(sends)
+
+        # Owners reduce in rank order (deterministic), then send results back.
+        totals: dict[int, float] = {}
+        for (src, _dst), arr in sorted(delivered.items()):
+            for g, v in arr:
+                totals[int(g)] = totals.get(int(g), 0.0) + v
+
+        replies: dict[tuple[int, int], np.ndarray] = {}
+        for g in self.shared_ids:
+            gi = int(g)
+            o = self.shared_owner[gi]
+            for h in self.shared_holders[gi]:
+                key = (o, h)
+                replies.setdefault(key, [])
+                replies[key].append((gi, totals[gi]))
+        replies = {k: np.array(v, dtype=np.float64) for k, v in replies.items()}
+        delivered_back = world.exchange(replies)
+
+        # Install the reduced shared values.
+        out_chunks = []
+        for r in range(world.size):
+            s = local_sums[r]
+            slot_of = {int(g): i for i, g in enumerate(self.local_unique[r])}
+            for (o, dst), arr in delivered_back.items():
+                if dst != r:
+                    continue
+                for g, v in arr:
+                    s[slot_of[int(g)]] = v
+            out = s[self.local_ids[r]].reshape(chunks[r].shape)
+            out_chunks.append(out)
+        return out_chunks
+
+    def _local_sums(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        out = []
+        for r, chunk in enumerate(chunks):
+            out.append(
+                np.bincount(
+                    self.local_ids[r], weights=chunk.reshape(-1),
+                    minlength=len(self.local_unique[r]),
+                )
+            )
+        return out
+
+    def _add_one_sided(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        """One-round PUT-style shared phase (symmetric all-to-all of holders)."""
+        world = self.world
+        local_sums = self._local_sums(chunks)
+
+        # Every holder puts its partial for each shared id to every other
+        # holder, in one round.
+        sends: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        slot_of = [
+            {int(g): i for i, g in enumerate(self.local_unique[r])}
+            for r in range(world.size)
+        ]
+        for g in self.shared_ids:
+            gi = int(g)
+            holders = self.shared_holders[gi]
+            for src in holders:
+                val = float(local_sums[src][slot_of[src][gi]])
+                for dst in holders:
+                    if dst == src:
+                        continue
+                    sends.setdefault((src, dst), []).append((gi, val))
+        delivered = world.exchange(
+            {k: np.array(v, dtype=np.float64) for k, v in sends.items()}
+        )
+
+        # Local reduction in rank order for determinism: contributions are
+        # sorted by source rank with the own value inserted at its rank
+        # position, so every holder sums in the same order.
+        per_dst_gid: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        for (src, dst), arr in delivered.items():
+            for g, v in arr:
+                per_dst_gid.setdefault((dst, int(g)), []).append((src, float(v)))
+
+        out_chunks = []
+        for r in range(world.size):
+            s = local_sums[r].copy()
+            for gi_slot, gi in ((slot_of[r][int(g)], int(g)) for g in self.shared_ids
+                                if int(g) in slot_of[r]):
+                contribs = per_dst_gid.get((r, gi), [])
+                contribs.append((r, float(local_sums[r][gi_slot])))
+                contribs.sort(key=lambda sv: sv[0])
+                s[gi_slot] = sum(v for _, v in contribs)
+            out_chunks.append(s[self.local_ids[r]].reshape(chunks[r].shape))
+        return out_chunks
+
+    def add_full(self, u: np.ndarray, algorithm: str = "two_phase") -> np.ndarray:
+        """Convenience: full-field in, full-field out."""
+        return self.gather_field(self.add(self.scatter_field(u), algorithm=algorithm))
+
+    def dot(self, a_chunks: list[np.ndarray], b_chunks: list[np.ndarray]) -> float:
+        """Unique-dof inner product: local weighted dots + one allreduce."""
+        locals_ = []
+        for r in range(self.world.size):
+            mult = np.bincount(
+                self.local_ids[r], minlength=len(self.local_unique[r])
+            ).astype(np.float64)
+            # Global multiplicity of shared nodes differs from the local
+            # count; fetch it once (precomputed lazily).
+            gmult = self._global_multiplicity()[self.local_unique[r]]
+            w = (mult / mult) / gmult  # 1/global multiplicity per local slot
+            wfield = w[self.local_ids[r]]
+            locals_.append(
+                float(np.sum(a_chunks[r].reshape(-1) * b_chunks[r].reshape(-1) * wfield))
+            )
+        return self.world.allreduce_scalar(locals_)
+
+    def _global_multiplicity(self) -> np.ndarray:
+        if not hasattr(self, "_gmult"):
+            counts = np.zeros(self.n_global)
+            for r in range(self.world.size):
+                counts += np.bincount(
+                    self.local_unique[r][self.local_ids[r]], minlength=self.n_global
+                )
+            self._gmult = counts
+        return self._gmult

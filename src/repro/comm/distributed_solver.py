@@ -1,0 +1,120 @@
+"""A distributed Jacobi-CG over the simulated rank world.
+
+Runs the same Krylov iteration as the single-rank solver but with the
+SPMD data layout of the production code: every rank owns a chunk of
+elements, operator applications are rank-local, continuity comes from the
+two-phase distributed gather--scatter, and inner products are local dots
+plus one allreduce.  Tests assert rank-count invariance of the solution,
+and the traffic counters give the performance model's per-iteration
+communication counts an executable definition (2 allreduces + 1 halo
+exchange per CG iteration -- exactly what ``SEMWorkModel`` budgets).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.comm.distributed_gs import DistributedGatherScatter
+from repro.comm.simworld import SimWorld
+from repro.solvers.monitor import SolverMonitor
+
+__all__ = ["DistributedConjugateGradient"]
+
+LocalOperator = Callable[[int, np.ndarray], np.ndarray]
+
+
+class DistributedConjugateGradient:
+    """CG on per-rank element chunks.
+
+    Parameters
+    ----------
+    local_amul:
+        ``(rank, chunk) -> chunk`` applying the *unassembled* elementwise
+        operator to a rank's elements (no communication inside).
+    dgs:
+        The distributed gather--scatter assembling results across ranks.
+    world:
+        Supplies the allreduce for inner products.
+    local_mask:
+        Optional per-rank Dirichlet masks.
+    """
+
+    def __init__(
+        self,
+        local_amul: LocalOperator,
+        dgs: DistributedGatherScatter,
+        world: SimWorld,
+        local_mask: list[np.ndarray] | None = None,
+        precond_diag: list[np.ndarray] | None = None,
+        tol: float = 1e-8,
+        maxiter: int = 500,
+    ) -> None:
+        self.local_amul = local_amul
+        self.dgs = dgs
+        self.world = world
+        self.local_mask = local_mask
+        self.precond_diag = precond_diag
+        self.tol = tol
+        self.maxiter = maxiter
+        # 1/multiplicity per rank for unique-dof inner products.
+        gmult = dgs._global_multiplicity()
+        self._inv_mult = []
+        for r in range(world.size):
+            w = 1.0 / gmult[dgs.local_unique[r]]
+            self._inv_mult.append(w[dgs.local_ids[r]].reshape(-1))
+
+    # -- distributed primitives --------------------------------------------
+
+    def _amul(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        local = [self.local_amul(r, c) for r, c in enumerate(chunks)]
+        out = self.dgs.add(local)
+        if self.local_mask is not None:
+            out = [o * m for o, m in zip(out, self.local_mask)]
+        return out
+
+    def _dot(self, a: list[np.ndarray], b: list[np.ndarray]) -> float:
+        locals_ = [
+            float(np.sum(x.reshape(-1) * y.reshape(-1) * w))
+            for x, y, w in zip(a, b, self._inv_mult)
+        ]
+        return self.world.allreduce_scalar(locals_)
+
+    def _apply_precond(self, r: list[np.ndarray]) -> list[np.ndarray]:
+        if self.precond_diag is None:
+            return [c.copy() for c in r]
+        return [c * d for c, d in zip(r, self.precond_diag)]
+
+    # -- the solver -----------------------------------------------------------
+
+    def solve(self, b_chunks: list[np.ndarray]) -> tuple[list[np.ndarray], SolverMonitor]:
+        """Solve from a zero initial guess; returns per-rank chunks."""
+        mon = SolverMonitor(tol=self.tol, name="dist-cg")
+        x = [np.zeros_like(c) for c in b_chunks]
+        r = [c.copy() for c in b_chunks]
+        z = self._apply_precond(r)
+        rho = self._dot(r, z)
+        rnorm = float(np.sqrt(max(self._dot(r, r), 0.0)))
+        if mon.start(rnorm):
+            return x, mon
+        p = [c.copy() for c in z]
+
+        for _ in range(self.maxiter):
+            ap = self._amul(p)
+            pap = self._dot(p, ap)
+            if pap <= 0.0:
+                break
+            alpha = rho / pap
+            for xr, pr, rr, apr in zip(x, p, r, ap):
+                xr += alpha * pr
+                rr -= alpha * apr
+            rnorm = float(np.sqrt(max(self._dot(r, r), 0.0)))
+            if mon.step(rnorm):
+                break
+            z = self._apply_precond(r)
+            rho_new = self._dot(r, z)
+            beta = rho_new / rho
+            rho = rho_new
+            p = [zr + beta * pr for zr, pr in zip(z, p)]
+        return x, mon

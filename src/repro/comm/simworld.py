@@ -1,0 +1,103 @@
+"""A world of simulated MPI ranks with traffic accounting.
+
+Collectives operate on lists indexed by rank (the whole world's data is
+resident in one process), which keeps the semantics of buffer-based MPI
+(mpi4py's upper-case methods) while making tests deterministic: sums are
+performed in rank order, so results are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimWorld", "TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Counters of simulated network traffic."""
+
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    barrier_calls: int = 0
+
+    def reset(self) -> None:
+        self.allreduce_calls = 0
+        self.allreduce_bytes = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0
+        self.barrier_calls = 0
+
+
+class SimWorld:
+    """N simulated ranks; collectives take per-rank data lists."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.stats = TrafficStats()
+
+    def _check(self, per_rank: list) -> None:
+        if len(per_rank) != self.size:
+            raise ValueError(f"expected {self.size} per-rank entries, got {len(per_rank)}")
+
+    # -- collectives ----------------------------------------------------------
+
+    def allreduce_scalar(self, values: list[float], op: str = "sum") -> float:
+        """Allreduce of one scalar per rank; returns the reduced value."""
+        self._check(values)
+        self.stats.allreduce_calls += 1
+        self.stats.allreduce_bytes += 8 * self.size
+        if op == "sum":
+            return float(np.sum(np.asarray(values, dtype=np.float64)))
+        if op == "max":
+            return float(np.max(values))
+        if op == "min":
+            return float(np.min(values))
+        raise ValueError(f"unknown op {op!r}")
+
+    def allreduce_array(self, arrays: list[np.ndarray], op: str = "sum") -> np.ndarray:
+        """Elementwise allreduce of equally-shaped per-rank arrays."""
+        self._check(arrays)
+        self.stats.allreduce_calls += 1
+        self.stats.allreduce_bytes += sum(a.nbytes for a in arrays)
+        stack = np.stack(arrays)
+        if op == "sum":
+            return stack.sum(axis=0)
+        if op == "max":
+            return stack.max(axis=0)
+        if op == "min":
+            return stack.min(axis=0)
+        raise ValueError(f"unknown op {op!r}")
+
+    def exchange(
+        self, sends: dict[tuple[int, int], np.ndarray]
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Point-to-point exchange.
+
+        ``sends[(src, dst)]`` is the buffer rank ``src`` sends to ``dst``;
+        the return maps the same keys to the delivered buffers (copies).
+        """
+        out = {}
+        for (src, dst), buf in sends.items():
+            if not (0 <= src < self.size and 0 <= dst < self.size):
+                raise ValueError(f"invalid ranks in send ({src}->{dst})")
+            if src != dst:
+                self.stats.p2p_messages += 1
+                self.stats.p2p_bytes += buf.nbytes
+            out[(src, dst)] = np.array(buf, copy=True)
+        return out
+
+    def barrier(self) -> None:
+        self.stats.barrier_calls += 1
+
+    def gather(self, values: list, root: int = 0) -> list:
+        """Gather per-rank values at the root (returns the full list)."""
+        self._check(values)
+        self.stats.p2p_messages += self.size - 1
+        return list(values)

@@ -1,0 +1,112 @@
+"""Compressed time-series container: many snapshots, one file.
+
+The paper's motivation for compression is the snapshot *stream* -- "sample
+the instantaneous flow frequently, and for a long enough period" -- so the
+natural container is a sequence of compressed fields with metadata.  The
+format is a simple length-prefixed concatenation of the self-describing
+per-field streams plus a JSON footer (name, time, raw size per record),
+written incrementally so an in-situ writer never buffers the whole series.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import struct
+
+import numpy as np
+
+from repro.compression.api import CompressedField, SpectralCompressor
+
+__all__ = ["CompressedSeriesWriter", "read_compressed_series"]
+
+_MAGIC = b"RPRS\x01"
+
+
+class CompressedSeriesWriter:
+    """Appends compressed snapshots to a series file.
+
+    Use as a context manager, or call :meth:`close` to finalize (the JSON
+    footer is written at close; an unclosed file is still recoverable
+    record-by-record).
+    """
+
+    def __init__(self, path: str | pathlib.Path, compressor: SpectralCompressor) -> None:
+        self.path = pathlib.Path(path)
+        self.compressor = compressor
+        self._fh: io.BufferedWriter | None = self.path.open("wb")
+        self._fh.write(_MAGIC)
+        self._meta: list[dict] = []
+        self.total_raw = 0
+        self.total_written = len(_MAGIC)
+
+    def append(self, field: np.ndarray, name: str, time: float = 0.0) -> CompressedField:
+        """Compress and append one snapshot."""
+        if self._fh is None:
+            raise RuntimeError("series writer already closed")
+        cf = self.compressor.compress(field, name=name, time=time)
+        self._fh.write(struct.pack("<Q", len(cf.blob)))
+        self._fh.write(cf.blob)
+        self._meta.append(
+            {"name": name, "time": time, "raw_bytes": cf.raw_bytes,
+             "compressed_bytes": cf.compressed_bytes}
+        )
+        self.total_raw += cf.raw_bytes
+        self.total_written += 8 + len(cf.blob)
+        return cf
+
+    @property
+    def overall_reduction(self) -> float:
+        if self.total_raw == 0:
+            return 0.0
+        return 1.0 - self.total_written / self.total_raw
+
+    def close(self) -> dict:
+        """Write the footer and close; returns the series metadata."""
+        if self._fh is None:
+            raise RuntimeError("series writer already closed")
+        footer = json.dumps(self._meta).encode()
+        self._fh.write(struct.pack("<Q", 0))  # record terminator
+        self._fh.write(footer)
+        self._fh.write(struct.pack("<Q", len(footer)))
+        self._fh.close()
+        self._fh = None
+        return {"records": self._meta, "reduction": self.overall_reduction}
+
+    def __enter__(self) -> "CompressedSeriesWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self.close()
+
+
+def read_compressed_series(path: str | pathlib.Path) -> list[tuple[dict, CompressedField]]:
+    """Read back a series: list of ``(metadata, CompressedField)`` records."""
+    data = pathlib.Path(path).read_bytes()
+    if not data.startswith(_MAGIC):
+        raise ValueError("not a repro compressed-series file")
+    # Footer: last 8 bytes = footer length.
+    (footer_len,) = struct.unpack("<Q", data[-8:])
+    footer = json.loads(data[-8 - footer_len : -8].decode())
+
+    records = []
+    off = len(_MAGIC)
+    idx = 0
+    while True:
+        (blob_len,) = struct.unpack("<Q", data[off : off + 8])
+        off += 8
+        if blob_len == 0:
+            break
+        blob = data[off : off + blob_len]
+        off += blob_len
+        meta = footer[idx]
+        records.append(
+            (meta, CompressedField(name=meta["name"], blob=blob,
+                                   raw_bytes=meta["raw_bytes"], time=meta["time"]))
+        )
+        idx += 1
+    if idx != len(footer):
+        raise ValueError("series footer does not match record count")
+    return records

@@ -1,0 +1,53 @@
+"""Nodal <-> modal Legendre transforms of elementwise SEM data (eq. (2)).
+
+The modal basis is the orthonormalized Legendre tensor-product basis on the
+reference element; the transform matrices are the (exact) inverse of the
+Vandermonde matrix and the Vandermonde matrix itself, applied along the
+three tensor directions with batched ``matmul`` -- the same kernel shape as
+every other operator in the code, which is what makes the compression
+runnable synchronously at simulation time.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.sem.basis import modal_transform_matrix
+from repro.sem.dealias import interp3
+
+__all__ = ["to_modal", "to_nodal", "modal_energy"]
+
+
+@functools.lru_cache(maxsize=None)
+def _vandermonde_pair(lx: int) -> tuple[np.ndarray, np.ndarray]:
+    v = np.asarray(modal_transform_matrix(lx))
+    vinv = np.linalg.inv(v)
+    v.setflags(write=False)
+    vinv.setflags(write=False)
+    return v, vinv
+
+
+def to_modal(u: np.ndarray) -> np.ndarray:
+    """Modal coefficients ``uh`` of nodal data ``u`` (per element)."""
+    lx = u.shape[-1]
+    _, vinv = _vandermonde_pair(lx)
+    return interp3(u, vinv)
+
+
+def to_nodal(uh: np.ndarray) -> np.ndarray:
+    """Nodal values from modal coefficients (inverse of :func:`to_modal`)."""
+    lx = uh.shape[-1]
+    v, _ = _vandermonde_pair(lx)
+    return interp3(uh, v)
+
+
+def modal_energy(uh: np.ndarray) -> np.ndarray:
+    """Per-element modal energy ``sum uh^2`` (reference-element L^2 norm^2).
+
+    Because the modes are L^2-orthonormal on the reference cube, this is
+    Parseval's identity for the element interpolant; multiplied by the
+    element volume factor it approximates the physical L^2 energy.
+    """
+    return np.sum(uh.reshape(uh.shape[0], -1) ** 2, axis=1)

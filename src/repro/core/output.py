@@ -1,0 +1,136 @@
+"""Field output and checkpoint/restart.
+
+Snapshots are written as compressed ``.npz`` containers (the stand-in for
+Neko's ``.fld``/ADIOS2 output); checkpoints capture the full multistep
+state so a run restarts bit-for-bit.  The lossy-compressed alternative
+lives in :mod:`repro.compression`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.simulation import Simulation
+
+__all__ = ["FieldWriter", "write_checkpoint", "load_checkpoint", "load_snapshot"]
+
+
+class FieldWriter:
+    """Writes numbered field snapshots into an output directory.
+
+    Register as an in-situ callback: ``sim.callbacks.append(FieldWriter(dir))``.
+    """
+
+    def __init__(self, directory: str | pathlib.Path, prefix: str = "field") -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.counter = 0
+        self.written: list[pathlib.Path] = []
+
+    def __call__(self, sim: Simulation) -> pathlib.Path:
+        ux, uy, uz = sim.velocity
+        path = self.directory / f"{self.prefix}{self.counter:05d}.npz"
+        np.savez_compressed(
+            path,
+            ux=ux,
+            uy=uy,
+            uz=uz,
+            temperature=sim.temperature,
+            pressure=sim.pressure,
+            x=sim.space.x,
+            y=sim.space.y,
+            z=sim.space.z,
+            meta=json.dumps(
+                {
+                    "time": sim.time,
+                    "step": sim.step_count,
+                    "rayleigh": sim.config.rayleigh,
+                    "prandtl": sim.config.prandtl,
+                    "lx": sim.config.lx,
+                    "nelv": sim.space.nelv,
+                    "case": sim.config.name,
+                }
+            ),
+        )
+        self.written.append(path)
+        self.counter += 1
+        return path
+
+
+def load_snapshot(path: str | pathlib.Path) -> dict:
+    """Load a snapshot written by :class:`FieldWriter`.
+
+    Returns a dict with the field arrays plus the parsed ``meta`` mapping.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        out = {k: data[k] for k in data.files if k != "meta"}
+        out["meta"] = json.loads(str(data["meta"]))
+    return out
+
+
+def write_checkpoint(sim: Simulation, path: str | pathlib.Path) -> None:
+    """Save the complete multistep state for exact restart."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {}
+    for i in range(3):
+        arrays[f"u{i}"] = sim.fluid.u[i]
+        arrays[f"v{i}"] = sim.fluid.v[i]
+        arrays[f"w{i}"] = sim.fluid.w[i]
+        arrays[f"t{i}"] = sim.scalar.t_hist[i]
+    for i, f in enumerate(sim.fluid.f_hist):
+        arrays[f"fx{i}"], arrays[f"fy{i}"], arrays[f"fz{i}"] = f
+    for i, f in enumerate(sim.scalar.f_hist):
+        arrays[f"ft{i}"] = f
+    if sim.fluid.pressure_projection is not None:
+        arrays.update(sim.fluid.pressure_projection.state_arrays())
+    scheme_dts = getattr(sim.scheme, "_dts", [])
+    np.savez_compressed(
+        path,
+        pressure=sim.fluid.p,
+        n_fluid_hist=len(sim.fluid.f_hist),
+        n_scalar_hist=len(sim.scalar.f_hist),
+        time=sim.time,
+        dt=sim.dt,
+        last_cfl=np.asarray(sim.last_cfl if sim.last_cfl is not None else [-1.0, -1.0]),
+        step_count=sim.step_count,
+        scheme_steps=sim.scheme.step_count,
+        scheme_dts=np.asarray(scheme_dts, dtype=np.float64),
+        **arrays,
+    )
+
+
+def load_checkpoint(sim: Simulation, path: str | pathlib.Path) -> None:
+    """Restore a simulation's state from :func:`write_checkpoint` output."""
+    with np.load(path, allow_pickle=False) as data:
+        for i in range(3):
+            sim.fluid.u[i][:] = data[f"u{i}"]
+            sim.fluid.v[i][:] = data[f"v{i}"]
+            sim.fluid.w[i][:] = data[f"w{i}"]
+            sim.scalar.t_hist[i][:] = data[f"t{i}"]
+        sim.fluid.p = data["pressure"].copy()
+        nf = int(data["n_fluid_hist"])
+        sim.fluid.f_hist = [
+            (data[f"fx{i}"].copy(), data[f"fy{i}"].copy(), data[f"fz{i}"].copy())
+            for i in range(nf)
+        ]
+        ns = int(data["n_scalar_hist"])
+        sim.scalar.f_hist = [data[f"ft{i}"].copy() for i in range(ns)]
+        if sim.fluid.pressure_projection is not None:
+            sim.fluid.pressure_projection.load_state(data)
+        sim.time = float(data["time"])
+        sim.step_count = int(data["step_count"])
+        sim.scheme.step_count = int(data["scheme_steps"])
+        if "dt" in data:
+            sim.dt = float(data["dt"])
+            sim.fluid.set_dt(sim.dt)
+            sim.scalar.set_dt(sim.dt)
+        if "last_cfl" in data:
+            cfl, dt_last = (float(v) for v in data["last_cfl"])
+            sim.last_cfl = None if dt_last < 0 else (cfl, dt_last)
+        if hasattr(sim.scheme, "_dts") and "scheme_dts" in data:
+            sim.scheme._dts = [float(v) for v in np.atleast_1d(data["scheme_dts"])]

@@ -1,0 +1,159 @@
+"""Rayleigh-Benard case factories.
+
+Two canonical setups:
+
+* :func:`rbc_box_case` -- convection between parallel plates in a box,
+  optionally periodic in the lateral directions (the classic configuration
+  for onset/scaling studies; the critical Rayleigh number for rigid-rigid
+  plates is Ra_c = 1708).
+* :func:`rbc_cylinder_case` -- the cylindrical cell of the paper with
+  aspect ratio Gamma = diameter/height (production: Gamma = 1/10).
+
+Temperature convention: hot bottom plate ``T = +1/2``, cold top plate
+``T = -1/2`` (zero-mean, DeltaT = 1); the conductive profile is
+``T = 1/2 - z``.  The default initial condition superposes a deterministic
+multi-mode perturbation on the conductive profile so that convection starts
+reproducibly above onset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.case import CaseConfig
+from repro.sem.mesh import box_mesh, cylinder_mesh
+
+__all__ = ["rbc_box_case", "rbc_cylinder_case", "conductive_profile", "default_perturbation"]
+
+
+def conductive_profile(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """The pure-conduction temperature solution ``T = 1/2 - z``."""
+    return 0.5 - z
+
+
+def default_perturbation(amplitude: float = 0.05, modes: int = 3):
+    """A deterministic multi-mode perturbation vanishing at ``z = 0, 1``.
+
+    Products of lateral harmonics with ``sin(pi z)`` envelopes; enough
+    asymmetry to trigger all low azimuthal modes without randomness (so
+    tests and examples are reproducible bit-for-bit).
+    """
+
+    def perturb(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+        envelope = np.sin(np.pi * z)
+        p = np.zeros_like(z)
+        for m in range(1, modes + 1):
+            p += (
+                np.sin(2 * np.pi * m * x + 0.3 * m)
+                * np.cos(2 * np.pi * m * y + 0.7 * m)
+                / m
+            )
+        return amplitude * envelope * p
+
+    return perturb
+
+
+def rbc_box_case(
+    rayleigh: float,
+    prandtl: float = 1.0,
+    n: tuple[int, int, int] = (4, 4, 4),
+    lx: int = 6,
+    aspect: float = 2.0,
+    periodic_lateral: bool = True,
+    dt: float | None = None,
+    z_grading: float = 1.5,
+    perturbation_amplitude: float = 0.05,
+    **overrides,
+) -> CaseConfig:
+    """RBC between parallel plates at ``z = 0`` and ``z = 1``.
+
+    ``aspect`` is the lateral box size (in units of the height).  With
+    ``periodic_lateral`` the sides wrap around; otherwise they are no-slip
+    insulated walls.
+    """
+    mesh = box_mesh(
+        n,
+        lengths=(aspect, aspect, 1.0),
+        periodic=(periodic_lateral, periodic_lateral, False),
+        grading=(0.0, 0.0, z_grading),
+    )
+    no_slip = ("bottom", "top") if periodic_lateral else (
+        "bottom", "top", "x-", "x+", "y-", "y+"
+    )
+    if dt is None:
+        dt = _default_dt(rayleigh)
+    pert = default_perturbation(perturbation_amplitude)
+
+    def t0(x, y, z):
+        return conductive_profile(x, y, z) + pert(x, y, z)
+
+    cfg = CaseConfig(
+        mesh=mesh,
+        lx=lx,
+        rayleigh=rayleigh,
+        prandtl=prandtl,
+        dt=dt,
+        no_slip_labels=no_slip,
+        temperature_bcs={"bottom": 0.5, "top": -0.5},
+        initial_temperature=t0,
+        name=f"rbc_box_Ra{rayleigh:g}",
+        **overrides,
+    )
+    cfg.validate()
+    return cfg
+
+
+def rbc_cylinder_case(
+    rayleigh: float,
+    prandtl: float = 1.0,
+    aspect: float = 0.5,
+    n_square: int = 2,
+    n_ring: int = 2,
+    n_z: int = 8,
+    lx: int = 6,
+    dt: float | None = None,
+    perturbation_amplitude: float = 0.05,
+    **overrides,
+) -> CaseConfig:
+    """RBC in a cylindrical cell of diameter ``aspect`` (height 1).
+
+    The paper's production cell has ``aspect = 1/10``; such slender cells
+    need many ``n_z`` layers to keep elements isotropic.
+    """
+    mesh = cylinder_mesh(
+        diameter=aspect,
+        height=1.0,
+        n_square=n_square,
+        n_ring=n_ring,
+        n_z=n_z,
+    )
+    if dt is None:
+        dt = _default_dt(rayleigh)
+    pert = default_perturbation(perturbation_amplitude)
+
+    def t0(x, y, z):
+        return conductive_profile(x, y, z) + pert(x, y, z)
+
+    cfg = CaseConfig(
+        mesh=mesh,
+        lx=lx,
+        rayleigh=rayleigh,
+        prandtl=prandtl,
+        dt=dt,
+        no_slip_labels=("bottom", "top", "side"),
+        temperature_bcs={"bottom": 0.5, "top": -0.5},
+        initial_temperature=t0,
+        name=f"rbc_cyl_G{aspect:g}_Ra{rayleigh:g}",
+        **overrides,
+    )
+    cfg.validate()
+    return cfg
+
+
+def _default_dt(rayleigh: float) -> float:
+    """A conservative default time step scaling with the expected velocity.
+
+    Free-fall velocities are O(1); boundary-layer refinement tightens the
+    CFL limit roughly like Ra^{-1/4} for fixed resolution.
+    """
+    return float(min(2.0e-2, 0.5 * rayleigh ** (-0.25)))

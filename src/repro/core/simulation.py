@@ -1,0 +1,237 @@
+"""The simulation driver: couples fluid and scalar, runs the time loop.
+
+Responsibilities mirror Neko's ``case``/``simulation`` objects: hold the
+function space and both schemes, apply the Boussinesq coupling (buoyancy
+``+T e_z`` extrapolated together with advection), keep per-region wall-time
+accounting, evaluate statistics, and invoke user callbacks (the in-situ
+hooks: compression, streaming POD, field output).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.case import CaseConfig
+from repro.core.fluid import FluidScheme
+from repro.core.scalar import ScalarScheme
+from repro.core.statistics import NusseltNumbers, compute_nusselt, reynolds_number
+from repro.core.timers import RegionTimers
+from repro.sem.space import FunctionSpace
+from repro.timeint.bdf_ext import TimeScheme
+from repro.timeint.cfl import courant_number
+from repro.timeint.variable import VariableTimeScheme
+
+__all__ = ["Simulation", "StepResult"]
+
+
+@dataclass
+class StepResult:
+    """Summary of one time step."""
+
+    step: int
+    time: float
+    cfl: float
+    pressure_iterations: int
+    velocity_iterations: int
+    temperature_iterations: int
+    kinetic_energy: float
+    divergence: float
+    dt: float = 0.0
+
+
+@dataclass
+class StatSample:
+    """One statistics sample along the run."""
+
+    time: float
+    nusselt: NusseltNumbers
+    reynolds: float
+    kinetic_energy: float
+
+
+class Simulation:
+    """A Boussinesq RBC simulation assembled from a :class:`CaseConfig`."""
+
+    def __init__(self, config: CaseConfig) -> None:
+        config.validate()
+        self.config = config
+        self.space = FunctionSpace(config.mesh, config.lx)
+        self.timers = RegionTimers()
+        self.adaptive = config.adaptive_cfl is not None
+        self.scheme = (
+            VariableTimeScheme(config.time_order)
+            if self.adaptive
+            else TimeScheme(config.time_order)
+        )
+        self.dt = config.dt
+        self.fluid = FluidScheme(self.space, config, self.scheme, self.timers)
+        self.scalar = ScalarScheme(
+            self.space, config, self.scheme, self.timers, dealiaser=self.fluid.dealiaser
+        )
+        self.time = 0.0
+        self.step_count = 0
+        # (cfl, dt) of the last completed step; drives adaptation and is
+        # checkpointed so restarts reproduce the dt sequence exactly.
+        self.last_cfl: tuple[float, float] | None = None
+        self.callbacks: list[Callable[["Simulation"], None]] = []
+        self.history: list[StepResult] = []
+        self.stat_samples: list[StatSample] = []
+
+        # Initial conditions.
+        if config.initial_temperature is not None:
+            self.scalar.set_temperature(self.space.interpolate(config.initial_temperature))
+        if config.initial_velocity is not None:
+            ux, uy, uz = config.initial_velocity(self.space.x, self.space.y, self.space.z)
+            self.fluid.set_velocity(
+                np.asarray(ux, dtype=np.float64) * np.ones(self.space.shape),
+                np.asarray(uy, dtype=np.float64) * np.ones(self.space.shape),
+                np.asarray(uz, dtype=np.float64) * np.ones(self.space.shape),
+            )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def velocity(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (self.fluid.u[0], self.fluid.v[0], self.fluid.w[0])
+
+    @property
+    def temperature(self) -> np.ndarray:
+        return self.scalar.temperature
+
+    @property
+    def pressure(self) -> np.ndarray:
+        return self.fluid.p
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _adapt_dt(self) -> None:
+        """Adjust the step size toward the target Courant number."""
+        if self.last_cfl is None:
+            return
+        last_cfl, last_dt = self.last_cfl
+        cfl_per_dt = last_cfl / last_dt if last_dt > 0 else 0.0
+        if cfl_per_dt <= 0.0:
+            new_dt = min(self.dt * 1.2, self.config.dt_max)
+        else:
+            ideal = self.config.adaptive_cfl / cfl_per_dt
+            # Limit the change rate to keep the multistep history healthy.
+            new_dt = float(np.clip(ideal, 0.75 * self.dt, 1.2 * self.dt))
+            new_dt = float(np.clip(new_dt, self.config.dt_min, self.config.dt_max))
+        self.dt = new_dt
+        self.fluid.set_dt(new_dt)
+        self.scalar.set_dt(new_dt)
+
+    def step(self) -> StepResult:
+        """Advance the coupled system one time step."""
+        if self.adaptive:
+            self._adapt_dt()
+            self.scheme.set_step(self.dt)
+
+        b = self.space.coef.mass
+        zeros = np.zeros(self.space.shape)
+        # Buoyancy from the *current* temperature (explicit coupling).
+        buoy = (zeros, zeros, b * self.scalar.temperature)
+
+        c_fine = self.fluid.fine_velocity()
+        vel_now = self.velocity
+        self.scalar.step(vel_now, c_fine=c_fine)
+        mons = self.fluid.step(buoy, c_fine=c_fine)
+
+        self.scheme.advance()
+        self.step_count += 1
+        self.time += self.dt
+
+        ux, uy, uz = self.velocity
+        result = StepResult(
+            step=self.step_count,
+            time=self.time,
+            cfl=courant_number(self.space, ux, uy, uz, self.dt),
+            dt=self.dt,
+            pressure_iterations=mons["pressure"].iterations,
+            velocity_iterations=max(
+                mons["velocity_x"].iterations,
+                mons["velocity_y"].iterations,
+                mons["velocity_z"].iterations,
+            ),
+            temperature_iterations=self.scalar.monitors["temperature"].iterations,
+            kinetic_energy=self.fluid.kinetic_energy(),
+            divergence=self.fluid.divergence_norm(),
+        )
+        self.history.append(result)
+        self.last_cfl = (result.cfl, result.dt)
+        return result
+
+    def run(
+        self,
+        n_steps: int | None = None,
+        end_time: float | None = None,
+        callback_interval: int = 0,
+        stats_interval: int = 0,
+        print_interval: int = 0,
+    ) -> list[StepResult]:
+        """Run the time loop until ``n_steps`` or ``end_time``.
+
+        ``callback_interval`` / ``stats_interval`` control how often the
+        registered in-situ callbacks fire and statistics are sampled.
+        """
+        if n_steps is None and end_time is None:
+            raise ValueError("give n_steps or end_time")
+        results = []
+        while True:
+            if n_steps is not None and len(results) >= n_steps:
+                break
+            if end_time is not None and self.time >= end_time - 1e-12:
+                break
+            res = self.step()
+            results.append(res)
+            if stats_interval and self.step_count % stats_interval == 0:
+                self.sample_statistics()
+            if callback_interval and self.step_count % callback_interval == 0:
+                for cb in self.callbacks:
+                    cb(self)
+            if print_interval and self.step_count % print_interval == 0:
+                print(
+                    f"step {res.step:6d}  t={res.time:.4f}  CFL={res.cfl:.3f}  "
+                    f"p-iters={res.pressure_iterations}  KE={res.kinetic_energy:.4e}"
+                )
+            if not np.isfinite(res.kinetic_energy):
+                raise FloatingPointError(
+                    f"simulation diverged at step {res.step} (t = {res.time:.4f}); "
+                    f"CFL was {res.cfl:.2f} -- reduce dt"
+                )
+        return results
+
+    # -- statistics ----------------------------------------------------------------
+
+    def sample_statistics(self) -> StatSample:
+        """Evaluate and record the Nusselt/Reynolds sample at the current time."""
+        ux, uy, uz = self.velocity
+        nu = compute_nusselt(
+            self.space, uz, self.temperature, self.config.rayleigh, self.config.prandtl
+        )
+        sample = StatSample(
+            time=self.time,
+            nusselt=nu,
+            reynolds=reynolds_number(
+                self.space, ux, uy, uz, self.config.rayleigh, self.config.prandtl
+            ),
+            kinetic_energy=self.fluid.kinetic_energy(),
+        )
+        self.stat_samples.append(sample)
+        return sample
+
+    def time_averaged_nusselt(self, discard_fraction: float = 0.5) -> NusseltNumbers:
+        """Average the recorded Nusselt samples, discarding the transient."""
+        if not self.stat_samples:
+            raise RuntimeError("no statistics samples recorded; run with stats_interval")
+        n0 = int(len(self.stat_samples) * discard_fraction)
+        samples = self.stat_samples[n0:] or self.stat_samples[-1:]
+        return NusseltNumbers(
+            volume=float(np.mean([s.nusselt.volume for s in samples])),
+            plate_bottom=float(np.mean([s.nusselt.plate_bottom for s in samples])),
+            plate_top=float(np.mean([s.nusselt.plate_top for s in samples])),
+            dissipation=float(np.mean([s.nusselt.dissipation for s in samples])),
+        )

@@ -1,0 +1,56 @@
+"""Per-region wall-clock timers.
+
+The paper measures "MPI_Wtime timings around relevant code regions"; this
+is the equivalent instrumentation for the Python solver, and the measured
+counterpart of the Fig. 4 wall-time distribution.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["RegionTimers"]
+
+
+class RegionTimers:
+    """Accumulates wall time per named region (``pressure``, ``velocity``, ...)."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def region(self, name: str):
+        """Context manager timing one region entry."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Sum over all regions."""
+        return sum(self.totals.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Share of total wall time per region (the Fig. 4 quantity)."""
+        tot = self.total()
+        if tot == 0.0:
+            return {k: 0.0 for k in self.totals}
+        return {k: v / tot for k, v in self.totals.items()}
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def report(self) -> str:
+        """Multi-line human-readable breakdown."""
+        tot = self.total()
+        lines = [f"total measured: {tot:.3f} s"]
+        for k, v in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * v / tot if tot else 0.0
+            lines.append(f"  {k:<14s} {v:9.3f} s  {share:5.1f}%  ({self.counts[k]} calls)")
+        return "\n".join(lines)

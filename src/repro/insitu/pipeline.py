@@ -1,0 +1,156 @@
+"""The streaming pipeline: an in-process stand-in for ADIOS2 engines.
+
+Design goals copied from the paper's workflow:
+
+* the producer (the solver loop) must not stall unless the consumer is
+  genuinely saturated (bounded queue = backpressure, counted);
+* consumers run asynchronously on a worker thread ("the data can easily be
+  streamed to a data processing routine, running on the mostly unused
+  CPUs");
+* everything is measured: queue waits, items, bytes, per-processor time --
+  the numbers behind the "low impact on the simulation performance" claim.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Processor", "InSituPipeline", "PipelineStats"]
+
+
+class Processor:
+    """Base class for in-situ consumers."""
+
+    name = "processor"
+
+    def process(self, tag: str, array: np.ndarray, sim_time: float) -> None:
+        """Handle one snapshot (runs on the pipeline worker thread)."""
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Called once when the pipeline closes."""
+
+
+@dataclass
+class PipelineStats:
+    """Counters for one pipeline lifetime."""
+
+    items: int = 0
+    bytes_in: int = 0
+    producer_wait: float = 0.0
+    processor_time: dict[str, float] = field(default_factory=dict)
+    dropped: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"items={self.items} bytes={self.bytes_in} "
+            f"producer_wait={self.producer_wait:.4f}s dropped={self.dropped}"
+        ]
+        for k, v in sorted(self.processor_time.items()):
+            lines.append(f"  {k}: {v:.4f}s")
+        return "\n".join(lines)
+
+
+class InSituPipeline:
+    """Bounded-queue producer/consumer pipeline for field snapshots.
+
+    Parameters
+    ----------
+    processors:
+        Consumers invoked, in order, for every snapshot.
+    max_queue:
+        Queue bound; a full queue blocks the producer (``drop_on_full``
+        instead discards, emulating a best-effort engine).
+    """
+
+    def __init__(
+        self,
+        processors: list[Processor],
+        max_queue: int = 8,
+        drop_on_full: bool = False,
+    ) -> None:
+        self.processors = processors
+        self.queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self.drop_on_full = drop_on_full
+        self.stats = PipelineStats()
+        self._worker: threading.Thread | None = None
+        self._closed = False
+        self._error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open(self) -> "InSituPipeline":
+        """Start the worker thread.  Usable as a context manager."""
+        if self._worker is not None:
+            raise RuntimeError("pipeline already open")
+        self._closed = False
+        self._worker = threading.Thread(target=self._drain, daemon=True, name="insitu")
+        self._worker.start()
+        return self
+
+    def close(self) -> PipelineStats:
+        """Flush outstanding items, stop the worker, finalize processors."""
+        if self._worker is None:
+            raise RuntimeError("pipeline not open")
+        self.queue.put(None)  # sentinel
+        self._worker.join()
+        self._worker = None
+        self._closed = True
+        if self._error is not None:
+            raise RuntimeError("in-situ processor failed") from self._error
+        for p in self.processors:
+            p.finalize()
+        return self.stats
+
+    def __enter__(self) -> "InSituPipeline":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- producer side -----------------------------------------------------------
+
+    def put(self, tag: str, array: np.ndarray, sim_time: float = 0.0) -> bool:
+        """Enqueue one snapshot (copied).  Returns False if dropped."""
+        if self._worker is None or self._closed:
+            raise RuntimeError("pipeline not open")
+        item = (tag, array.copy(), sim_time)
+        t0 = time.perf_counter()
+        if self.drop_on_full:
+            try:
+                self.queue.put_nowait(item)
+            except queue.Full:
+                self.stats.dropped += 1
+                return False
+        else:
+            self.queue.put(item)
+        self.stats.producer_wait += time.perf_counter() - t0
+        self.stats.items += 1
+        self.stats.bytes_in += array.nbytes
+        return True
+
+    # -- consumer side ----------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            tag, array, sim_time = item
+            for p in self.processors:
+                t0 = time.perf_counter()
+                try:
+                    p.process(tag, array, sim_time)
+                except BaseException as exc:  # surfaces at close()
+                    self._error = exc
+                    return
+                finally:
+                    dt = time.perf_counter() - t0
+                    self.stats.processor_time[p.name] = (
+                        self.stats.processor_time.get(p.name, 0.0) + dt
+                    )

@@ -1,0 +1,94 @@
+"""Bundled in-situ processors: compression, running statistics, POD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.api import CompressedField, SpectralCompressor
+from repro.insitu.pipeline import Processor
+from repro.insitu.pod import StreamingPOD
+
+__all__ = ["CompressionProcessor", "RunningStatsProcessor", "PODProcessor"]
+
+
+class CompressionProcessor(Processor):
+    """Compress every snapshot and keep the compressed objects.
+
+    This is the paper's synchronous-transform / asynchronous-encode path
+    collapsed into one consumer: the solver thread hands over raw nodal
+    data, the worker thread does the modal transform, truncation and
+    entropy coding.
+    """
+
+    name = "compression"
+
+    def __init__(self, compressor: SpectralCompressor, keep: bool = True) -> None:
+        self.compressor = compressor
+        self.keep = keep
+        self.compressed: list[CompressedField] = []
+        self.total_raw = 0
+        self.total_compressed = 0
+
+    def process(self, tag: str, array: np.ndarray, sim_time: float) -> None:
+        cf = self.compressor.compress(array, name=tag, time=sim_time)
+        self.total_raw += cf.raw_bytes
+        self.total_compressed += cf.compressed_bytes
+        if self.keep:
+            self.compressed.append(cf)
+
+    @property
+    def overall_reduction(self) -> float:
+        if self.total_raw == 0:
+            return 0.0
+        return 1.0 - self.total_compressed / self.total_raw
+
+
+class RunningStatsProcessor(Processor):
+    """Streaming mean/variance per tag (Welford's algorithm)."""
+
+    name = "running-stats"
+
+    def __init__(self) -> None:
+        self._n: dict[str, int] = {}
+        self._mean: dict[str, np.ndarray] = {}
+        self._m2: dict[str, np.ndarray] = {}
+
+    def process(self, tag: str, array: np.ndarray, sim_time: float) -> None:
+        n = self._n.get(tag, 0) + 1
+        if n == 1:
+            self._mean[tag] = array.astype(np.float64).copy()
+            self._m2[tag] = np.zeros_like(self._mean[tag])
+        else:
+            delta = array - self._mean[tag]
+            self._mean[tag] += delta / n
+            self._m2[tag] += delta * (array - self._mean[tag])
+        self._n[tag] = n
+
+    def mean(self, tag: str) -> np.ndarray:
+        return self._mean[tag].copy()
+
+    def variance(self, tag: str) -> np.ndarray:
+        n = self._n[tag]
+        if n < 2:
+            return np.zeros_like(self._m2[tag])
+        return self._m2[tag] / (n - 1)
+
+    def count(self, tag: str) -> int:
+        return self._n.get(tag, 0)
+
+
+class PODProcessor(Processor):
+    """Feed snapshots of one tag into a :class:`StreamingPOD`."""
+
+    name = "streaming-pod"
+
+    def __init__(self, pod: StreamingPOD, tag: str) -> None:
+        self.pod = pod
+        self.tag = tag
+
+    def process(self, tag: str, array: np.ndarray, sim_time: float) -> None:
+        if tag == self.tag:
+            self.pod.push(array)
+
+    def finalize(self) -> None:
+        self.pod.finalize()

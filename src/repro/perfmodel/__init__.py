@@ -1,0 +1,37 @@
+"""Whole-application performance model of Neko on LUMI and Leonardo.
+
+The paper's scaling results (Fig. 3) and wall-time distribution (Fig. 4)
+were measured on machines we cannot access; this package models them from
+first principles, parameterized by Table 1:
+
+* :mod:`repro.perfmodel.machine` -- the two systems' hardware/software
+  descriptions (Table 1 verbatim) plus derived quantities;
+* :mod:`repro.perfmodel.workmodel` -- memory-traffic / kernel-launch /
+  reduction counts of one time step of the P_N-P_N solver, phase by phase,
+  with the same structure as the real Python solver in ``repro.core``;
+* :mod:`repro.perfmodel.network` -- latency/bandwidth cost of halo
+  exchanges and log-P allreduces;
+* :mod:`repro.perfmodel.scaling` -- strong-scaling sweeps (Fig. 3) with
+  the overlapped-preconditioner flag as an ablation;
+* :mod:`repro.perfmodel.breakdown` -- the per-phase wall-time distribution
+  (Fig. 4).
+"""
+
+from repro.perfmodel.machine import MachineSpec, LUMI, LEONARDO, platform_table
+from repro.perfmodel.network import NetworkModel
+from repro.perfmodel.workmodel import SEMWorkModel, PhaseCost
+from repro.perfmodel.scaling import StrongScalingStudy, ScalingPoint
+from repro.perfmodel.breakdown import walltime_breakdown
+
+__all__ = [
+    "MachineSpec",
+    "LUMI",
+    "LEONARDO",
+    "platform_table",
+    "NetworkModel",
+    "SEMWorkModel",
+    "PhaseCost",
+    "StrongScalingStudy",
+    "ScalingPoint",
+    "walltime_breakdown",
+]

@@ -1,0 +1,123 @@
+"""Machine descriptions: Table 1 of the paper, plus derived quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import A100, MI250X_GCD, GpuModel
+
+__all__ = ["MachineSpec", "LUMI", "LEONARDO", "platform_table"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One experimental platform (a row set of Table 1).
+
+    ``n_logical_gpus`` counts scheduling units as the paper does: one GCD
+    on AMD MI250X, one full device on NVIDIA A100.
+    """
+
+    name: str
+    device: GpuModel
+    peak_tflops_table: float  # per *GPU* as printed in Table 1
+    peak_bw_table: float  # GB/s per GPU as printed
+    n_logical_gpus: int
+    gpus_per_node: int
+    interconnect: str
+    nic_description: str
+    node_injection_gbs: float  # aggregate NIC bandwidth per node, GB/s
+    network_latency_us: float
+    mpi: str
+    compiler: str
+    gpu_driver: str
+    runtime: str
+    rmax_pflops: float
+    top500_rank_nov22: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_logical_gpus // self.gpus_per_node
+
+    @property
+    def injection_per_gpu_gbs(self) -> float:
+        """NIC bandwidth share of one logical GPU."""
+        return self.node_injection_gbs / self.gpus_per_node
+
+    @property
+    def machine_balance_bytes_per_flop(self) -> float:
+        """Memory bytes per FP64 flop at peak -- why SEM must be matrix-free."""
+        return self.device.peak_bandwidth_gbs / (self.device.peak_fp64_tflops * 1e3)
+
+
+# LUMI (CSC, Finland): HPE Cray EX, AMD MI250X, Slingshot 11.
+LUMI = MachineSpec(
+    name="LUMI",
+    device=MI250X_GCD,
+    peak_tflops_table=47.9,
+    peak_bw_table=3300.0,
+    # Table 1 counts 10240 MI250X *modules*; each exposes two GCDs, and the
+    # paper's "logical GPUs" are GCDs (16384 GCDs = 80% of the machine).
+    n_logical_gpus=20480,
+    gpus_per_node=8,  # 4 MI250X modules = 8 GCDs per node
+    interconnect="HPE Slingshot 11",
+    nic_description="200 GbE NICs (4x200 Gb/s)",
+    node_injection_gbs=100.0,  # 4 x 200 Gb/s = 100 GB/s
+    network_latency_us=2.0,
+    mpi="Cray MPICH 8.1.18",
+    compiler="CCE 14.0.2",
+    gpu_driver="5.16.9.22.20",
+    runtime="ROCm 5.2.3",
+    rmax_pflops=309.10,
+    top500_rank_nov22=3,
+)
+
+# Leonardo (CINECA, Italy): Atos BullSequana XH2000, custom A100, HDR.
+LEONARDO = MachineSpec(
+    name="Leonardo",
+    device=A100,
+    peak_tflops_table=9.7,
+    peak_bw_table=1550.0,
+    n_logical_gpus=13824,
+    gpus_per_node=4,
+    interconnect="Nvidia HDR",
+    nic_description="2x(2x100 Gb/s)",
+    node_injection_gbs=50.0,  # 2 x (2 x 100 Gb/s) = 50 GB/s
+    network_latency_us=1.5,
+    mpi="OpenMPI 4.1.4",
+    compiler="GCC 8.5.0",
+    gpu_driver="520.61.05",
+    runtime="CUDA 11.8",
+    rmax_pflops=174.70,
+    top500_rank_nov22=4,
+)
+
+
+def platform_table() -> str:
+    """Render Table 1 ("Hardware and software details...") from the specs."""
+    rows = [
+        ("System", lambda m: m.name),
+        ("Computing device", lambda m: m.device.name.replace(" (GCD)", "")),
+        ("Peak TFlop FP64/s", lambda m: f"{m.peak_tflops_table:g}"),
+        ("Peak BW/s (GB)", lambda m: f"{m.peak_bw_table:g}"),
+        ("No. devices", lambda m: "10240" if m.name == "LUMI" else str(m.n_logical_gpus)),
+        ("Interconnect", lambda m: m.interconnect),
+        ("NICs", lambda m: m.nic_description),
+        ("MPI", lambda m: m.mpi),
+        ("Compiler", lambda m: m.compiler),
+        ("GPU Driver", lambda m: m.gpu_driver),
+        ("CUDA/ROCm", lambda m: m.runtime),
+    ]
+    machines = (LUMI, LEONARDO)
+    w0 = max(len(r[0]) for r in rows)
+    w = [max(len(f(m)) for r, f in rows) for m in machines]
+    lines = []
+    header = f"{'':{w0}} | " + " | ".join(
+        f"{m.name:{wi}}" for m, wi in zip(machines, w)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, f in rows:
+        lines.append(
+            f"{label:{w0}} | " + " | ".join(f"{f(m):{wi}}" for m, wi in zip(machines, w))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Boundary conditions: Dirichlet masks and inhomogeneous values.
+
+The SEM enforces essential (Dirichlet) conditions strongly: boundary dofs
+are removed from the solve by a 0/1 mask and their values written directly
+into the solution.  Natural (zero-Neumann) conditions need no action in the
+weak form -- the insulated sidewall of the RBC cell and the pressure
+boundaries are handled this way, as in the paper's production setup.
+
+Masks must be combined across elements with a gather--scatter ``min`` so
+that a node on the *edge* of a Dirichlet face is masked in every element
+that touches it, even elements with no face on the boundary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.sem.space import FunctionSpace
+
+__all__ = ["BoundaryMask", "DirichletBC", "combine_masks"]
+
+
+class BoundaryMask:
+    """A 0/1 multiplicative mask that zeroes dofs on selected boundaries."""
+
+    def __init__(self, space: FunctionSpace, labels: Sequence[str]) -> None:
+        self.space = space
+        self.labels = list(labels)
+        mask = np.ones(space.shape)
+        lx = space.lx
+        for label in self.labels:
+            try:
+                facets = space.mesh.boundary_facets[label]
+            except KeyError:
+                known = ", ".join(space.mesh.boundary_labels()) or "<none>"
+                raise KeyError(
+                    f"unknown boundary label {label!r}; mesh has: {known}"
+                ) from None
+            for e, face in facets:
+                idx = (int(e), *space.mesh.facet_node_index(int(face), lx))
+                mask[idx] = 0.0
+        # Propagate zeros to duplicated dofs on neighbouring elements.
+        self.mask = space.gs.min(mask)
+        self.n_masked = int(np.count_nonzero(self.mask == 0.0))
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Zero the masked dofs (in place) and return ``u``."""
+        u *= self.mask
+        return u
+
+
+class DirichletBC:
+    """Inhomogeneous Dirichlet condition ``u = g`` on selected boundaries.
+
+    ``g`` may be a constant or a callable ``g(x, y, z)`` evaluated at the
+    boundary nodes.  The Krylov solvers work on the homogeneous problem: the
+    caller lifts the boundary data with :meth:`set_values`, solves for the
+    masked correction and adds it back.
+    """
+
+    def __init__(
+        self,
+        space: FunctionSpace,
+        labels: Sequence[str],
+        value: float | Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] = 0.0,
+    ) -> None:
+        self.space = space
+        self.boundary = BoundaryMask(space, labels)
+        self.mask = self.boundary.mask
+        if callable(value):
+            vals = np.asarray(value(space.x, space.y, space.z), dtype=np.float64)
+            vals = np.broadcast_to(vals, space.shape).copy()
+        else:
+            vals = np.full(space.shape, float(value))
+        # Retain values only where the mask is zero.
+        self.values = np.where(self.mask == 0.0, vals, 0.0)
+
+    def set_values(self, u: np.ndarray) -> np.ndarray:
+        """Write the boundary values into ``u`` (in place) and return it."""
+        np.copyto(u, self.values, where=self.mask == 0.0)
+        return u
+
+    def zero(self, u: np.ndarray) -> np.ndarray:
+        """Zero the constrained dofs of ``u`` (in place) and return it."""
+        u *= self.mask
+        return u
+
+
+def combine_masks(bcs: Sequence[DirichletBC | BoundaryMask], space: FunctionSpace) -> np.ndarray:
+    """Pointwise product of the masks of several boundary conditions."""
+    mask = np.ones(space.shape)
+    for bc in bcs:
+        mask *= bc.mask
+    return mask

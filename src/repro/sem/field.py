@@ -1,0 +1,90 @@
+"""Named fields over a function space.
+
+The solver internals operate on raw ``(nelv, lx, lx, lx)`` arrays for speed;
+:class:`Field` is the user-facing handle that couples data to its space and
+offers the common reductions.  It deliberately stays a thin wrapper -- the
+data array is always directly accessible as ``.data``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sem.space import FunctionSpace
+
+__all__ = ["Field", "VectorField"]
+
+
+class Field:
+    """A scalar nodal field on a :class:`FunctionSpace`."""
+
+    def __init__(self, space: FunctionSpace, name: str = "field", data: np.ndarray | None = None) -> None:
+        self.space = space
+        self.name = name
+        if data is None:
+            self.data = space.zeros()
+        else:
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape != space.shape:
+                raise ValueError(f"data shape {data.shape} != space shape {space.shape}")
+            self.data = data
+
+    def copy(self, name: str | None = None) -> "Field":
+        """Deep copy, optionally renamed."""
+        return Field(self.space, name or self.name, self.data.copy())
+
+    def fill(self, value: float) -> "Field":
+        """Set every dof to ``value`` (in place)."""
+        self.data.fill(value)
+        return self
+
+    def set_from(self, fn) -> "Field":
+        """Interpolate ``fn(x, y, z)`` into this field (in place)."""
+        self.data[:] = self.space.interpolate(fn)
+        return self
+
+    @property
+    def l2(self) -> float:
+        """Mass-weighted L^2 norm."""
+        return self.space.norm_l2(self.data)
+
+    @property
+    def mean(self) -> float:
+        """Volume average."""
+        return self.space.mean(self.data)
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.data))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.data))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Field({self.name!r}, n={self.space.n_dofs}, mean={self.mean:.4g})"
+
+
+class VectorField:
+    """A 3-component vector field (velocity, vorticity, ...)."""
+
+    def __init__(self, space: FunctionSpace, name: str = "vector") -> None:
+        self.space = space
+        self.name = name
+        self.x = Field(space, f"{name}_x")
+        self.y = Field(space, f"{name}_y")
+        self.z = Field(space, f"{name}_z")
+
+    @property
+    def components(self) -> tuple[Field, Field, Field]:
+        return (self.x, self.y, self.z)
+
+    def magnitude(self) -> Field:
+        """Pointwise Euclidean magnitude as a new scalar field."""
+        mag = np.sqrt(self.x.data**2 + self.y.data**2 + self.z.data**2)
+        return Field(self.space, f"|{self.name}|", mag)
+
+    def kinetic_energy(self) -> float:
+        """Volume-integrated kinetic energy ``0.5 * int |u|^2``."""
+        sq = self.x.data**2 + self.y.data**2 + self.z.data**2
+        return 0.5 * self.space.integrate(sq)

@@ -1,0 +1,64 @@
+"""Modal low-pass filtering (stabilization).
+
+Nek5000/Neko optionally damp the highest Legendre modes each step to
+stabilize marginally resolved runs.  Implemented as the classic transfer
+function applied in modal space: modes below a cutoff pass untouched, the
+top modes are attenuated smoothly (quadratic ramp to ``1 - strength``),
+applied with one nodal->modal->nodal tensor round trip per field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.transform import _vandermonde_pair
+from repro.sem.dealias import interp3
+
+__all__ = ["ModalFilter"]
+
+
+class ModalFilter:
+    """Low-pass modal filter for ``(nelv, lx, lx, lx)`` fields.
+
+    Parameters
+    ----------
+    lx:
+        Points per direction of the target fields.
+    cutoff:
+        First 1-D mode index that gets attenuated (modes ``0..cutoff-1``
+        pass unchanged).
+    strength:
+        Attenuation of the very highest mode (``0 <= strength <= 1``;
+        Nek's default "filter weight" is 0.05).
+    """
+
+    def __init__(self, lx: int, cutoff: int | None = None, strength: float = 0.05) -> None:
+        if not 0.0 <= strength <= 1.0:
+            raise ValueError("strength must be in [0, 1]")
+        if cutoff is None:
+            cutoff = max(1, lx - 2)
+        if not 1 <= cutoff <= lx:
+            raise ValueError(f"cutoff must be in [1, {lx}]")
+        self.lx = lx
+        self.cutoff = cutoff
+        self.strength = strength
+
+        sigma = np.ones(lx)
+        for m in range(cutoff, lx):
+            t = (m - cutoff + 1) / (lx - cutoff)
+            sigma[m] = 1.0 - strength * t**2
+        self.sigma = sigma
+
+        v, vinv = _vandermonde_pair(lx)
+        # One fused matrix per direction: F = V diag(sigma) V^{-1}.
+        self.matrix = np.asarray(v) @ np.diag(sigma) @ np.asarray(vinv)
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        """Filtered copy of ``u``."""
+        if u.shape[-1] != self.lx:
+            raise ValueError(f"field lx {u.shape[-1]} != filter lx {self.lx}")
+        return interp3(u, self.matrix)
+
+    def transfer_function(self) -> np.ndarray:
+        """Per-mode 1-D attenuation factors (for inspection/plotting)."""
+        return self.sigma.copy()

@@ -1,0 +1,155 @@
+"""Gather--scatter: the C^0-continuity operation of the SEM.
+
+Duplicated degrees of freedom on shared element faces/edges/vertices are
+combined (summed, min-ed, ...) and redistributed.  This is the single
+communication primitive the whole solver is built on -- the paper calls it
+"the key component of the scalability in Neko".
+
+The single-process implementation here derives the global numbering from
+node *coordinates* (with an optional periodic wrapping), which handles any
+conforming mesh without explicit topology, and executes the operation as a
+``bincount`` gather followed by a fancy-indexing scatter -- both memory-
+bandwidth-bound, matching the character of the real kernel.  The two-phase
+(rank-local / shared) variant used by the rank simulator lives in
+:mod:`repro.comm.distributed_gs`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["GatherScatter", "build_global_numbering"]
+
+
+def build_global_numbering(
+    coords: np.ndarray,
+    periodic_image: Callable[[np.ndarray], np.ndarray] | None = None,
+    tol: float | None = None,
+) -> tuple[np.ndarray, int]:
+    """Assign a global id to every node, identifying coincident coordinates.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 3)`` node coordinates (duplicates across element boundaries).
+    periodic_image:
+        Optional canonicalization applied before matching (implements
+        periodic directions by wrapping one side onto the other).
+    tol:
+        Coordinates closer than ``tol`` are considered identical.  By default
+        a tolerance is derived from the smallest nonzero nodal spacing.
+
+    Returns
+    -------
+    (global_ids, n_global)
+    """
+    coords = np.asarray(coords, dtype=np.float64).reshape(-1, 3)
+    if periodic_image is not None:
+        coords = periodic_image(coords)
+    if tol is None:
+        # Smallest nonzero spacing along any axis bounds how close two
+        # *distinct* nodes can be; use a small fraction of it.
+        spacing = np.inf
+        for d in range(3):
+            vals = np.unique(np.round(coords[:, d], decimals=12))
+            if len(vals) > 1:
+                spacing = min(spacing, float(np.min(np.diff(vals))))
+        if not np.isfinite(spacing):
+            spacing = 1.0
+        tol = max(spacing * 1e-4, 1e-12)
+
+    quant = np.round(coords / tol).astype(np.int64)
+    _, inverse = np.unique(quant, axis=0, return_inverse=True)
+    return inverse.astype(np.int64), int(inverse.max()) + 1
+
+
+class GatherScatter:
+    """Gather--scatter operator for a fixed global numbering.
+
+    Construct once per function space; apply with :meth:`add` (dssum),
+    :meth:`min`, :meth:`max`, or :meth:`average`.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        shape: tuple[int, ...],
+        periodic_image: Callable[[np.ndarray], np.ndarray] | None = None,
+        tol: float | None = None,
+    ) -> None:
+        self.shape = tuple(shape)
+        self.global_ids, self.n_global = build_global_numbering(coords, periodic_image, tol)
+        if self.global_ids.shape[0] != int(np.prod(self.shape)):
+            raise ValueError(
+                f"coords count {self.global_ids.shape[0]} does not match field "
+                f"shape {self.shape}"
+            )
+        mult = np.bincount(self.global_ids, minlength=self.n_global).astype(np.float64)
+        self.multiplicity = mult[self.global_ids].reshape(self.shape)
+        self._inv_multiplicity = 1.0 / self.multiplicity
+        # Nodes with multiplicity 1 are element-interior; the shared set is
+        # what a distributed implementation would communicate.
+        self.n_shared = int(np.count_nonzero(mult > 1))
+
+    # -- core operations ---------------------------------------------------
+
+    def add(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Direct-stiffness summation: sum duplicated dofs, redistribute."""
+        flat = u.reshape(-1)
+        acc = np.bincount(self.global_ids, weights=flat, minlength=self.n_global)
+        if out is None:
+            out = np.empty_like(u)
+        out.reshape(-1)[:] = acc[self.global_ids]
+        return out
+
+    def min(self, u: np.ndarray) -> np.ndarray:
+        """Minimum over duplicated dofs (used to combine boundary masks)."""
+        acc = np.full(self.n_global, np.inf)
+        np.minimum.at(acc, self.global_ids, u.reshape(-1))
+        return acc[self.global_ids].reshape(u.shape)
+
+    def max(self, u: np.ndarray) -> np.ndarray:
+        """Maximum over duplicated dofs."""
+        acc = np.full(self.n_global, -np.inf)
+        np.maximum.at(acc, self.global_ids, u.reshape(-1))
+        return acc[self.global_ids].reshape(u.shape)
+
+    def average(self, u: np.ndarray) -> np.ndarray:
+        """dssum followed by division by multiplicity (a projection onto C^0)."""
+        return self.add(u) * self._inv_multiplicity
+
+    # -- reductions over unique dofs ----------------------------------------
+
+    def gather_unique(self, u: np.ndarray, reduce_duplicates: bool = False) -> np.ndarray:
+        """Values per *unique* global dof.
+
+        With ``reduce_duplicates`` the duplicated entries are summed (correct
+        for additively-stored data such as residuals); otherwise the first
+        occurrence is taken (correct for continuous fields).
+        """
+        flat = u.reshape(-1)
+        if reduce_duplicates:
+            return np.bincount(self.global_ids, weights=flat, minlength=self.n_global)
+        out = np.empty(self.n_global)
+        # Reversed so the *first* occurrence wins.
+        out[self.global_ids[::-1]] = flat[::-1]
+        return out
+
+    def scatter_unique(self, ug: np.ndarray) -> np.ndarray:
+        """Distribute per-unique-dof values back to the elementwise layout."""
+        if ug.shape != (self.n_global,):
+            raise ValueError(f"expected shape ({self.n_global},), got {ug.shape}")
+        return ug[self.global_ids].reshape(self.shape)
+
+    def dot(self, u: np.ndarray, v: np.ndarray) -> float:
+        """Inner product counting every unique dof exactly once.
+
+        The multiplicity division makes the duplicated elementwise storage
+        consistent with a sum over unique dofs, which is what the distributed
+        code computes with a local dot plus an allreduce.  (Integrals against
+        the *unassembled* mass matrix, by contrast, are plain elementwise sums
+        because each duplicate carries a partial quadrature contribution.)
+        """
+        return float(np.sum(u * v * self._inv_multiplicity))

@@ -1,0 +1,175 @@
+"""Matrix-free tensor-product operators.
+
+These are the compute kernels of the solver -- the Python analogues of
+Neko's ``ax_helm``, ``opgrad``, ``cdtp`` and friends.  Everything is
+formulated per element on the ``(nelv, lx, lx, lx)`` layout and contracted
+with batched ``matmul`` so the work runs inside BLAS.  None of these
+routines performs gather--scatter or boundary masking; that is the caller's
+job (exactly as in the real code, where the ``Ax`` object computes the local
+action and the Krylov solver owns assembly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sem.coef import Coefficients, tensor_derivatives
+
+__all__ = [
+    "local_grad",
+    "local_grad_transpose",
+    "physical_grad",
+    "ax_poisson",
+    "ax_helmholtz",
+    "weak_divergence",
+    "weak_gradient",
+    "weak_gradient_transpose",
+    "divergence",
+    "curl",
+    "convective_term_collocated",
+]
+
+
+def local_grad(u: np.ndarray, dx: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference-space derivatives ``(u_r, u_s, u_t)``."""
+    return tensor_derivatives(u, dx)
+
+
+def local_grad_transpose(
+    wr: np.ndarray, ws: np.ndarray, wt: np.ndarray, dx: np.ndarray
+) -> np.ndarray:
+    """Adjoint of :func:`local_grad`: ``D_r^T wr + D_s^T ws + D_t^T wt``."""
+    nelv, lz, ly, lx = wr.shape
+    out = wr @ dx
+    out += np.matmul(dx.T, ws)
+    out += np.matmul(dx.T, wt.reshape(nelv, lz, ly * lx)).reshape(wr.shape)
+    return out
+
+
+def physical_grad(
+    u: np.ndarray, coef: Coefficients, dx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pointwise physical gradient ``(du/dx, du/dy, du/dz)``."""
+    ur, us, ut = tensor_derivatives(u, dx)
+    dudx = ur * coef.drdx + us * coef.dsdx + ut * coef.dtdx
+    dudy = ur * coef.drdy + us * coef.dsdy + ut * coef.dtdy
+    dudz = ur * coef.drdz + us * coef.dsdz + ut * coef.dtdz
+    return dudx, dudy, dudz
+
+
+def ax_poisson(u: np.ndarray, coef: Coefficients, dx: np.ndarray) -> np.ndarray:
+    """Local action of the stiffness matrix: ``w = A u`` (unassembled).
+
+    The weak Laplacian ``(grad v, grad u)`` evaluated with the geometric
+    factors ``G``: differentiate, contract with ``G``, apply the transposed
+    derivatives.  ~`6 lx` flops per point over `7` resident arrays -- the
+    bandwidth-bound profile the roofline model in ``repro.perfmodel``
+    assumes.
+    """
+    ur, us, ut = tensor_derivatives(u, dx)
+    wr = coef.g11 * ur + coef.g12 * us + coef.g13 * ut
+    ws = coef.g12 * ur + coef.g22 * us + coef.g23 * ut
+    wt = coef.g13 * ur + coef.g23 * us + coef.g33 * ut
+    return local_grad_transpose(wr, ws, wt, dx)
+
+
+def ax_helmholtz(
+    u: np.ndarray,
+    coef: Coefficients,
+    dx: np.ndarray,
+    h1: float | np.ndarray,
+    h2: float | np.ndarray,
+) -> np.ndarray:
+    """Local action of the Helmholtz operator ``h1 * A + h2 * B``.
+
+    ``h1`` is the diffusivity, ``h2`` the reaction/mass coefficient (the
+    BDF ``b0 / dt`` factor in the time-stepper); both may vary pointwise.
+    """
+    ur, us, ut = tensor_derivatives(u, dx)
+    wr = h1 * (coef.g11 * ur + coef.g12 * us + coef.g13 * ut)
+    ws = h1 * (coef.g12 * ur + coef.g22 * us + coef.g23 * ut)
+    wt = h1 * (coef.g13 * ur + coef.g23 * us + coef.g33 * ut)
+    out = local_grad_transpose(wr, ws, wt, dx)
+    out += h2 * coef.mass * u
+    return out
+
+
+def divergence(
+    ux: np.ndarray, uy: np.ndarray, uz: np.ndarray, coef: Coefficients, dx: np.ndarray
+) -> np.ndarray:
+    """Pointwise (strong) divergence of a vector field."""
+    dxx, _, _ = physical_grad(ux, coef, dx)
+    _, dyy, _ = physical_grad(uy, coef, dx)
+    _, _, dzz = physical_grad(uz, coef, dx)
+    return dxx + dyy + dzz
+
+
+def weak_divergence(
+    ux: np.ndarray, uy: np.ndarray, uz: np.ndarray, coef: Coefficients, dx: np.ndarray
+) -> np.ndarray:
+    """Weak divergence ``(v, div u)``: the mass-weighted strong divergence.
+
+    With GLL collocation the weak form reduces to ``B * div(u)``; this is the
+    quantity that feeds the pressure-Poisson right-hand side.
+    """
+    return coef.mass * divergence(ux, uy, uz, coef, dx)
+
+
+def weak_gradient(
+    p: np.ndarray, coef: Coefficients, dx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Weak gradient ``(v, grad p)`` componentwise (mass-weighted)."""
+    px, py, pz = physical_grad(p, coef, dx)
+    return coef.mass * px, coef.mass * py, coef.mass * pz
+
+
+def weak_gradient_transpose(
+    vx: np.ndarray,
+    vy: np.ndarray,
+    vz: np.ndarray,
+    coef: Coefficients,
+    dx: np.ndarray,
+) -> np.ndarray:
+    """``(grad phi, v)`` -- the integrated-by-parts weak divergence.
+
+    This is Nek's ``cdtp``: the adjoint of the weak gradient.  For a vector
+    field with zero normal component on the boundary (no-slip, symmetry or
+    periodic), ``(phi, div v) = -(grad phi, v)``, and using this form for
+    the pressure right-hand side builds the boundary condition into the
+    discretization instead of differentiating across the wall.
+    """
+    b = coef.mass
+    wr = b * (coef.drdx * vx + coef.drdy * vy + coef.drdz * vz)
+    ws = b * (coef.dsdx * vx + coef.dsdy * vy + coef.dsdz * vz)
+    wt = b * (coef.dtdx * vx + coef.dtdy * vy + coef.dtdz * vz)
+    return local_grad_transpose(wr, ws, wt, dx)
+
+
+def curl(
+    ux: np.ndarray, uy: np.ndarray, uz: np.ndarray, coef: Coefficients, dx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pointwise curl of a vector field (vorticity when applied to velocity)."""
+    _, duxdy, duxdz = physical_grad(ux, coef, dx)
+    duydx, _, duydz = physical_grad(uy, coef, dx)
+    duzdx, duzdy, _ = physical_grad(uz, coef, dx)
+    wx = duzdy - duydz
+    wy = duxdz - duzdx
+    wz = duydx - duxdy
+    return wx, wy, wz
+
+
+def convective_term_collocated(
+    cx: np.ndarray,
+    cy: np.ndarray,
+    cz: np.ndarray,
+    u: np.ndarray,
+    coef: Coefficients,
+    dx: np.ndarray,
+) -> np.ndarray:
+    """Pointwise ``(c . grad) u`` *without* dealiasing.
+
+    Kept for verification against the dealiased operator (both must agree
+    when the fields are well resolved) and for the cheap low-Ra tests.
+    """
+    dudx, dudy, dudz = physical_grad(u, coef, dx)
+    return cx * dudx + cy * dudy + cz * dudz

@@ -1,0 +1,150 @@
+"""Restarted GMRES with right preconditioning.
+
+The paper's pressure solve: "the pressure is solved through a hybrid-Schwarz
+multigrid preconditioner combined with GMRES".  Right preconditioning keeps
+the GMRES residual equal to the true residual of ``A x = b``, so the
+stopping criterion does not depend on the quality of the preconditioner.
+An optional null-space projector keeps the iteration orthogonal to the
+constant mode of the pure-Neumann pressure problem.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.solvers.monitor import SolverMonitor
+
+__all__ = ["Gmres"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+Dot = Callable[[np.ndarray, np.ndarray], float]
+
+
+class Gmres:
+    """GMRES(m) for general nonsingular (or consistently singular) systems.
+
+    Parameters
+    ----------
+    amul, dot, precond:
+        Operator action, inner product and right preconditioner ``M^{-1}``.
+    restart:
+        Krylov subspace dimension per cycle (Neko's default is 30; the
+        pressure solve typically converges well within one cycle).
+    project_out:
+        Optional in-place null-space projector applied to the right-hand
+        side, to every preconditioned direction and to the solution --
+        removes the constant pressure mode.
+    """
+
+    def __init__(
+        self,
+        amul: Operator,
+        dot: Dot,
+        precond: Operator | None = None,
+        tol: float = 1e-7,
+        maxiter: int = 300,
+        restart: int = 30,
+        project_out: Callable[[np.ndarray], np.ndarray] | None = None,
+        atol: float = 1e-30,
+        name: str = "gmres",
+    ) -> None:
+        self.amul = amul
+        self.dot = dot
+        self.precond = precond if precond is not None else (lambda r: r.copy())
+        self.tol = tol
+        self.atol = atol
+        self.maxiter = maxiter
+        self.restart = restart
+        self.project_out = project_out if project_out is not None else (lambda u: u)
+        self.name = name
+
+    def _norm(self, u: np.ndarray) -> float:
+        return float(np.sqrt(max(self.dot(u, u), 0.0)))
+
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+        """Solve ``A x = b``; returns the solution and a convergence monitor."""
+        mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
+        b = self.project_out(b.copy())
+        x = np.zeros_like(b) if x0 is None else x0.copy()
+
+        r = b - self.amul(x) if x0 is not None else b.copy()
+        self.project_out(r)
+        beta = self._norm(r)
+        if mon.start(beta):
+            return x, mon
+        target = max(self.tol * beta, mon.atol)
+
+        total_iters = 0
+        while total_iters < self.maxiter:
+            m = min(self.restart, self.maxiter - total_iters)
+            # Arnoldi basis (element-layout vectors) and Hessenberg matrix.
+            v = [r / beta]
+            h = np.zeros((m + 1, m))
+            g = np.zeros(m + 1)
+            g[0] = beta
+            cs = np.zeros(m)
+            sn = np.zeros(m)
+            z_dirs: list[np.ndarray] = []
+            k_done = 0
+
+            for k in range(m):
+                z = self.precond(v[k])
+                self.project_out(z)
+                z_dirs.append(z)
+                w = self.amul(z)
+                self.project_out(w)
+                # Modified Gram-Schmidt.
+                for i in range(k + 1):
+                    h[i, k] = self.dot(w, v[i])
+                    w -= h[i, k] * v[i]
+                h_next = self._norm(w)
+                h[k + 1, k] = h_next
+
+                # Apply accumulated Givens rotations to the new column.
+                for i in range(k):
+                    tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                    h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
+                    h[i, k] = tmp
+                denom = np.hypot(h[k, k], h[k + 1, k])
+                if denom == 0.0:
+                    k_done = k + 1
+                    break
+                cs[k] = h[k, k] / denom
+                sn[k] = h[k + 1, k] / denom
+                h[k, k] = denom
+                h[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
+
+                k_done = k + 1
+                total_iters += 1
+                res = abs(g[k + 1])
+                mon.step(res)
+                if res <= target or h_next == 0.0:
+                    break
+                if k + 1 < m:
+                    v.append(w / h_next)
+
+            # Back substitution for the small triangular system (a zero
+            # pivot signals exact breakdown; drop that direction).
+            y = np.zeros(k_done)
+            for i in range(k_done - 1, -1, -1):
+                if h[i, i] == 0.0:
+                    y[i] = 0.0
+                    continue
+                y[i] = (g[i] - h[i, i + 1 : k_done] @ y[i + 1 : k_done]) / h[i, i]
+            for i in range(k_done):
+                x += y[i] * z_dirs[i]
+            self.project_out(x)
+
+            r = b - self.amul(x)
+            self.project_out(r)
+            beta = self._norm(r)
+            # True-residual check (guards against Arnoldi loss of orthogonality).
+            mon.residuals[-1] = beta
+            mon.converged = beta <= target
+            if mon.converged or k_done == 0:
+                break
+        return x, mon

@@ -1,0 +1,58 @@
+"""Convergence monitoring shared by all Krylov solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SolverMonitor"]
+
+
+@dataclass
+class SolverMonitor:
+    """Record of one linear solve: residual history and outcome.
+
+    ``residuals[0]`` is the initial residual norm; one entry is appended per
+    iteration.  ``converged`` reflects the *relative* criterion
+    ``||r|| <= tol * ||r_0||`` unless the initial residual was already below
+    the absolute floor ``atol``.
+    """
+
+    tol: float
+    atol: float = 1e-30
+    residuals: list[float] = field(default_factory=list)
+    converged: bool = False
+    name: str = ""
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations performed (excludes the initial residual)."""
+        return max(0, len(self.residuals) - 1)
+
+    @property
+    def initial_residual(self) -> float:
+        return self.residuals[0] if self.residuals else float("nan")
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    def start(self, r0: float) -> bool:
+        """Record the initial residual; returns True if already converged."""
+        self.residuals = [r0]
+        self.converged = r0 <= self.atol
+        return self.converged
+
+    def step(self, r: float) -> bool:
+        """Record an iteration residual; returns True on convergence."""
+        self.residuals.append(r)
+        target = max(self.tol * self.residuals[0], self.atol)
+        self.converged = r <= target
+        return self.converged
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.name or 'solve'}: {status} in {self.iterations} iters, "
+            f"||r|| {self.initial_residual:.3e} -> {self.final_residual:.3e}"
+        )

@@ -1,0 +1,126 @@
+"""Pipelined conjugate gradients (Ghysels & Vanroose 2014).
+
+At extreme scale the two blocking allreduces of classic CG dominate (the
+paper's Section 5.3 discussion of host-blocking reductions).  Pipelined CG
+rearranges the recurrences so both reductions of an iteration are fused
+into one, which can then overlap with the operator application -- the same
+"hide the latency" philosophy as the overlapped preconditioner, applied to
+the Krylov loop itself.  The iteration is algebraically equivalent to CG
+in exact arithmetic (verified by tests) at the cost of extra vectors and
+slightly weaker numerical stability.
+
+The communication advantage is accounted for by the performance model
+(one latency per iteration instead of two); in this in-process
+implementation the benefit is structural, not wall-clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.solvers.monitor import SolverMonitor
+
+__all__ = ["PipelinedConjugateGradient"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+Dot = Callable[[np.ndarray, np.ndarray], float]
+
+
+class PipelinedConjugateGradient:
+    """Preconditioned pipelined CG for SPD systems."""
+
+    def __init__(
+        self,
+        amul: Operator,
+        dot: Dot,
+        precond: Operator | None = None,
+        tol: float = 1e-8,
+        maxiter: int = 500,
+        atol: float = 1e-30,
+        replacement_interval: int = 50,
+        name: str = "pipecg",
+    ) -> None:
+        self.amul = amul
+        self.dot = dot
+        self.precond = precond if precond is not None else (lambda r: r.copy())
+        self.tol = tol
+        self.atol = atol
+        self.maxiter = maxiter
+        # Residual replacement: the pipelined recurrences drift from the
+        # true residual by rounding; recomputing every N iterations
+        # restores attainable accuracy (the standard Cools/Vanroose fix).
+        self.replacement_interval = replacement_interval
+        self.name = name
+        # Reduction accounting: fused (gamma, delta, ||r||) per iteration.
+        self.reductions_per_iteration = 1
+
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+        """Solve ``A x = b``; returns the solution and a monitor."""
+        mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
+        x = np.zeros_like(b) if x0 is None else x0.copy()
+        r = b - self.amul(x) if x0 is not None else b.copy()
+
+        u = self.precond(r)
+        w = self.amul(u)
+        gamma = self.dot(r, u)
+        delta = self.dot(w, u)
+        rnorm = float(np.sqrt(max(self.dot(r, r), 0.0)))
+        if mon.start(rnorm):
+            return x, mon
+
+        m = self.precond(w)
+        n = self.amul(m)
+        z = np.zeros_like(b)
+        q = np.zeros_like(b)
+        s = np.zeros_like(b)
+        p = np.zeros_like(b)
+        alpha_old = 0.0
+        gamma_old = 0.0
+        fresh_start = True
+
+        for it in range(self.maxiter):
+            if fresh_start:
+                beta = 0.0
+                alpha = gamma / delta
+                fresh_start = False
+            else:
+                beta = gamma / gamma_old
+                alpha = gamma / (delta - beta * gamma / alpha_old)
+
+            z = n + beta * z
+            q = m + beta * q
+            s = w + beta * s
+            p = u + beta * p
+
+            x += alpha * p
+            r -= alpha * s
+            u -= alpha * q
+            w -= alpha * z
+
+            gamma_old = gamma
+            alpha_old = alpha
+
+            if (it + 1) % self.replacement_interval == 0:
+                # Residual replacement: resynchronize the recurrences with
+                # the true residual and restart the direction recurrences.
+                r = b - self.amul(x)
+                u = self.precond(r)
+                w = self.amul(u)
+                z[:] = 0.0
+                q[:] = 0.0
+                s[:] = 0.0
+                p[:] = 0.0
+                fresh_start = True
+
+            # The fused reduction: (r.u), (w.u), ||r||^2 in one allreduce.
+            gamma = self.dot(r, u)
+            delta = self.dot(w, u)
+            rnorm = float(np.sqrt(max(self.dot(r, r), 0.0)))
+            if mon.step(rnorm):
+                break
+
+            m = self.precond(w)
+            n = self.amul(m)
+        return x, mon

@@ -1,0 +1,61 @@
+"""Null-space projection for the singular pressure-Poisson problem.
+
+With pure Neumann boundary conditions the stiffness matrix has the constant
+vector in its kernel; the compatible right-hand side is orthogonal to it and
+the solution is defined up to a constant.  The projector removes the
+(mass-weighted or counting-weighted) mean so the Krylov iteration stays in
+the orthogonal complement -- the standard treatment in Neko/Nek5000.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["MeanProjector"]
+
+
+class MeanProjector:
+    """Projects the weighted mean out of a field (in place).
+
+    Parameters
+    ----------
+    weight:
+        Pointwise weight defining the inner product against the constant
+        vector.  For SEM use the *unassembled* mass matrix so the mean is the
+        true volume average; for pure algebraic problems use multiplicity
+        weights.
+    """
+
+    def __init__(self, weight: np.ndarray) -> None:
+        self.weight = weight
+        self.total = float(np.sum(weight))
+        if self.total <= 0:
+            raise ValueError("projection weight must have positive total")
+
+    def mean(self, u: np.ndarray) -> float:
+        """Weighted mean of ``u``."""
+        return float(np.sum(u * self.weight)) / self.total
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        """Remove the weighted mean from ``u`` in place; returns ``u``."""
+        u -= self.mean(u)
+        return u
+
+    @classmethod
+    def identity(cls) -> Callable[[np.ndarray], np.ndarray]:
+        """A no-op projector for non-singular problems."""
+        return lambda u: u
+
+    @classmethod
+    def counting(cls, gs) -> "MeanProjector":
+        """Projector against the constant over *unique* dofs.
+
+        This is the correct compatibility projection for assembled
+        (duplicated-consistent) residuals of the pure-Neumann problem: the
+        kernel of the stiffness matrix is the constant vector over unique
+        dofs, so the component to remove is ``sum_unique r / n_unique``,
+        computed here with inverse-multiplicity weights.
+        """
+        return cls(1.0 / gs.multiplicity)

@@ -1,0 +1,149 @@
+"""Solution projection: reuse previous solves as an initial-guess space.
+
+Production Neko/Nek5000 accelerate the pressure solve by projecting each
+new right-hand side onto the span of the last ``m`` solutions (Fischer's
+"projection technique"): with an A-orthonormal basis ``{x_i}``, the best
+initial guess is ``x0 = sum (x_i . b) x_i`` and the Krylov solver only has
+to resolve the (much smaller) remainder.  In time-stepping flows the
+right-hand sides vary slowly, so this typically cuts pressure iterations
+by an integer factor.
+
+The basis is A-orthonormalized with modified Gram-Schmidt using stored
+``A x_i`` products -- no extra operator applications per solve beyond the
+one needed for the new entry (which the caller already computed as part
+of its residual evaluation, or we compute here once).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["SolutionProjection"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+Dot = Callable[[np.ndarray, np.ndarray], float]
+
+
+class SolutionProjection:
+    """Rolling A-orthonormal space of previous solutions.
+
+    Parameters
+    ----------
+    amul, dot:
+        Operator action and inner product (same objects the solver uses).
+    max_dim:
+        Maximum basis size; the oldest direction is dropped beyond it.
+        (Neko's ``proj_pre`` default is 20; the memory cost is two fields
+        per direction.)
+    """
+
+    def __init__(self, amul: Operator, dot: Dot, max_dim: int = 10) -> None:
+        if max_dim < 1:
+            raise ValueError("max_dim must be >= 1")
+        self.amul = amul
+        self.dot = dot
+        self.max_dim = max_dim
+        self._x: list[np.ndarray] = []
+        self._ax: list[np.ndarray] = []
+        self.last_guess_norm_fraction = 0.0
+
+    @property
+    def dim(self) -> int:
+        return len(self._x)
+
+    def clear(self) -> None:
+        self._x.clear()
+        self._ax.clear()
+
+    def initial_guess(self, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Best guess in the stored space and the deflated right-hand side.
+
+        Returns ``(x0, b - A x0)``; with an A-orthonormal basis the
+        coefficients are plain dots ``alpha_i = x_i . b``.
+        """
+        x0 = np.zeros_like(b)
+        r = b.copy()
+        if not self._x:
+            self.last_guess_norm_fraction = 0.0
+            return x0, r
+        for xi, axi in zip(self._x, self._ax):
+            alpha = self.dot(xi, r)
+            if alpha != 0.0:
+                x0 += alpha * xi
+                r -= alpha * axi
+        b_norm = np.sqrt(max(self.dot(b, b), 0.0))
+        r_norm = np.sqrt(max(self.dot(r, r), 0.0))
+        self.last_guess_norm_fraction = 1.0 - r_norm / b_norm if b_norm > 0 else 0.0
+        return x0, r
+
+    def update(self, dx: np.ndarray, adx: np.ndarray | None = None) -> None:
+        """Fold the newly computed correction into the basis.
+
+        ``dx`` is the solver's solution of the deflated problem; ``adx``
+        its operator image (computed here if not supplied).  The direction
+        is A-orthonormalized against the current basis; negligible
+        remainders are discarded.
+        """
+        if adx is None:
+            adx = self.amul(dx)
+        d = dx.copy()
+        ad = adx.copy()
+        for xi, axi in zip(self._x, self._ax):
+            c = self.dot(xi, ad)
+            d -= c * xi
+            ad -= c * axi
+        norm2 = self.dot(d, ad)
+        scale2 = self.dot(dx, adx)
+        if norm2 <= 0.0 or (scale2 > 0 and norm2 < 1e-24 * scale2):
+            return
+        inv = 1.0 / np.sqrt(norm2)
+        self._x.append(d * inv)
+        self._ax.append(ad * inv)
+        if len(self._x) > self.max_dim:
+            self._x.pop(0)
+            self._ax.pop(0)
+
+    def solve_with(self, solver, b: np.ndarray):
+        """Deflate, solve the remainder, update the space.
+
+        ``solver`` must expose ``solve(b, x0=None) -> (x, monitor)`` (the
+        CG/GMRES interface).  Returns ``(x, monitor)`` for the *full*
+        problem.  The solver's absolute floor is temporarily raised to
+        ``tol * ||b||`` so a deflated residual already below the original
+        problem's target terminates immediately -- otherwise the *relative*
+        criterion would chase ``tol`` more digits below an already tiny
+        remainder.
+        """
+        x0, r = self.initial_guess(b)
+        b_norm = float(np.sqrt(max(self.dot(b, b), 0.0)))
+        old_atol = getattr(solver, "atol", None)
+        if old_atol is not None:
+            solver.atol = max(old_atol, solver.tol * b_norm)
+        try:
+            dx, mon = solver.solve(r)
+        finally:
+            if old_atol is not None:
+                solver.atol = old_atol
+        self.update(dx)
+        return x0 + dx, mon
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Basis arrays for checkpointing."""
+        out: dict[str, np.ndarray] = {}
+        for i, (x, ax) in enumerate(zip(self._x, self._ax)):
+            out[f"proj_x{i}"] = x
+            out[f"proj_ax{i}"] = ax
+        return out
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Restore the basis saved by :meth:`state_arrays`."""
+        self.clear()
+        i = 0
+        while f"proj_x{i}" in arrays:
+            self._x.append(np.array(arrays[f"proj_x{i}"], copy=True))
+            self._ax.append(np.array(arrays[f"proj_ax{i}"], copy=True))
+            i += 1

@@ -1,0 +1,23 @@
+"""Time integration: mixed implicit-explicit BDF/EXT schemes.
+
+The paper integrates with "a mixed implicit-explicit scheme, combining an
+extrapolation scheme and a backwards difference scheme, both of order 3":
+diffusion is treated implicitly with BDF-k, advection and buoyancy
+explicitly with EXT-k, with an order ramp (1, 2, 3) over the first steps
+because higher-order multistep schemes need history.
+"""
+
+from repro.timeint.bdf_ext import BDF_COEFFS, EXT_COEFFS, TimeScheme
+from repro.timeint.cfl import courant_number, max_stable_dt
+from repro.timeint.variable import VariableTimeScheme, variable_bdf, variable_ext
+
+__all__ = [
+    "BDF_COEFFS",
+    "EXT_COEFFS",
+    "TimeScheme",
+    "courant_number",
+    "max_stable_dt",
+    "VariableTimeScheme",
+    "variable_bdf",
+    "variable_ext",
+]

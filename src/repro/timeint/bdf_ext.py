@@ -1,0 +1,91 @@
+"""BDF/EXT coefficient tables and the order-ramping time scheme.
+
+With constant step size the k-step BDF discretization of ``du/dt = f`` is
+
+    (1/dt) * (b0 u^{n+1} - sum_{j=1..k} b_j u^{n+1-j}) = f^{n+1},
+
+and the order-k extrapolation of an explicit term is
+
+    f^{n+1} ~= sum_{q=1..k} a_q f^{n+1-q}.
+
+Both sets below follow that sign convention (all ``b_j`` for ``j >= 1``
+are *added* to the right-hand side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BDF_COEFFS", "EXT_COEFFS", "TimeScheme"]
+
+# BDF_COEFFS[k] = (b0, [b1, ..., bk]).
+BDF_COEFFS: dict[int, tuple[float, tuple[float, ...]]] = {
+    1: (1.0, (1.0,)),
+    2: (1.5, (2.0, -0.5)),
+    3: (11.0 / 6.0, (3.0, -1.5, 1.0 / 3.0)),
+}
+
+# EXT_COEFFS[k] = (a1, ..., ak).
+EXT_COEFFS: dict[int, tuple[float, ...]] = {
+    1: (1.0,),
+    2: (2.0, -1.0),
+    3: (3.0, -3.0, 1.0),
+}
+
+
+class TimeScheme:
+    """Order-ramped BDF/EXT coefficients for a constant time step.
+
+    The first step uses order 1, the second order 2, and from the third
+    step on the target order (default 3, as in the paper).  Query the
+    active coefficients with :attr:`bdf` and :attr:`ext` after calling
+    :meth:`advance` at the *end* of every step.
+    """
+
+    def __init__(self, order: int = 3) -> None:
+        if order not in BDF_COEFFS:
+            raise ValueError(f"unsupported time order {order}; supported: 1, 2, 3")
+        self.target_order = order
+        self.step_count = 0
+
+    @property
+    def order(self) -> int:
+        """Order in effect for the *next* step."""
+        return min(self.step_count + 1, self.target_order)
+
+    @property
+    def bdf(self) -> tuple[float, tuple[float, ...]]:
+        """``(b0, (b1, ..., bk))`` for the next step."""
+        return BDF_COEFFS[self.order]
+
+    @property
+    def ext(self) -> tuple[float, ...]:
+        """``(a1, ..., ak)`` for the next step."""
+        return EXT_COEFFS[self.order]
+
+    def advance(self) -> None:
+        """Note that one step was completed (advances the order ramp)."""
+        self.step_count += 1
+
+    @staticmethod
+    def verify_consistency(order: int) -> float:
+        """Max consistency defect of the tables (exactness on polynomials).
+
+        With ``dt = 1`` and the new level at ``t = 1``: BDF-k must satisfy
+        ``b0 * 1^m - sum_j b_j (1-j)^m == m`` (the derivative of ``t^m`` at
+        ``t = 1``) for ``m <= k``, and EXT-k must reproduce
+        ``sum_q a_q (1-q)^m == 1`` for ``m <= k - 1``.  Returns the worst
+        violation -- an executable proof of the coefficient tables.
+        """
+        b0, bs = BDF_COEFFS[order]
+        a = EXT_COEFFS[order]
+        worst = 0.0
+        for m in range(order + 1):
+            val = b0 * 1.0**m - sum(
+                bj * (1.0 - j) ** m for j, bj in enumerate(bs, start=1)
+            )
+            worst = max(worst, abs(val - float(m)))
+        for m in range(order):
+            val = sum(aq * (1.0 - q) ** m for q, aq in enumerate(a, start=1))
+            worst = max(worst, abs(val - 1.0))
+        return worst

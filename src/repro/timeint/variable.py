@@ -1,0 +1,138 @@
+"""Variable-step BDF/EXT coefficients.
+
+Production runs adapt the time step to the CFL condition; multistep
+coefficients must then be rebuilt from the actual step-size history.  Both
+sets follow from Lagrange interpolation over the time levels
+
+    tau_0 = 0 (the new level),  tau_j = -(dt_1 + ... + dt_j),
+
+* BDF: the derivative of the interpolant through ``u(tau_0..tau_k)`` at
+  ``tau_0``, normalized to the code's convention
+  ``u'(t^{n+1}) ~ (1/dt_1) (b0 u^{n+1} - sum b_j u^{n+1-j})``;
+* EXT: the values at ``tau_0`` of the Lagrange basis over the *previous*
+  levels ``tau_1..tau_k``.
+
+With equal steps these reduce exactly to the classic tables (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeint.bdf_ext import BDF_COEFFS, EXT_COEFFS
+
+__all__ = ["variable_bdf", "variable_ext", "VariableTimeScheme"]
+
+
+def _lagrange_deriv_at(x0: float, nodes: np.ndarray) -> np.ndarray:
+    """Derivative of each Lagrange cardinal function at ``x0``."""
+    n = len(nodes)
+    out = np.zeros(n)
+    for j in range(n):
+        total = 0.0
+        for m in range(n):
+            if m == j:
+                continue
+            prod = 1.0 / (nodes[j] - nodes[m])
+            for l in range(n):
+                if l in (j, m):
+                    continue
+                prod *= (x0 - nodes[l]) / (nodes[j] - nodes[l])
+            total += prod
+        out[j] = total
+    return out
+
+
+def _lagrange_value_at(x0: float, nodes: np.ndarray) -> np.ndarray:
+    """Value of each Lagrange cardinal function at ``x0``."""
+    n = len(nodes)
+    out = np.ones(n)
+    for j in range(n):
+        for m in range(n):
+            if m == j:
+                continue
+            out[j] *= (x0 - nodes[m]) / (nodes[j] - nodes[m])
+    return out
+
+
+def _time_levels(dts: list[float]) -> np.ndarray:
+    taus = [0.0]
+    acc = 0.0
+    for dt in dts:
+        acc -= dt
+        taus.append(acc)
+    return np.array(taus)
+
+
+def variable_bdf(dts: list[float]) -> tuple[float, tuple[float, ...]]:
+    """``(b0, (b1...bk))`` for step history ``dts = [dt_1, ..., dt_k]``.
+
+    ``dt_1`` is the step being taken (newest); ``dt_k`` the oldest.
+    """
+    if not dts or any(dt <= 0 for dt in dts):
+        raise ValueError("step history must be non-empty and positive")
+    taus = _time_levels(dts)
+    c = _lagrange_deriv_at(0.0, taus)
+    dt1 = dts[0]
+    b0 = c[0] * dt1
+    bs = tuple(-c[j] * dt1 for j in range(1, len(taus)))
+    return float(b0), tuple(float(b) for b in bs)
+
+
+def variable_ext(dts: list[float]) -> tuple[float, ...]:
+    """``(a1, ..., ak)`` extrapolating the previous levels to ``t^{n+1}``."""
+    if not dts or any(dt <= 0 for dt in dts):
+        raise ValueError("step history must be non-empty and positive")
+    taus = _time_levels(dts)[1:]
+    return tuple(float(a) for a in _lagrange_value_at(0.0, taus))
+
+
+class VariableTimeScheme:
+    """Order-ramped BDF/EXT with a step-size history.
+
+    Drop-in alternative to :class:`~repro.timeint.bdf_ext.TimeScheme`: call
+    :meth:`set_step` *before* each step with the dt about to be taken, read
+    :attr:`bdf` / :attr:`ext`, then :meth:`advance` after the step.
+    """
+
+    def __init__(self, order: int = 3) -> None:
+        if order not in BDF_COEFFS:
+            raise ValueError(f"unsupported time order {order}")
+        self.target_order = order
+        self.step_count = 0
+        self._dts: list[float] = []  # newest first, completed steps
+        self._next_dt: float | None = None
+
+    @property
+    def order(self) -> int:
+        return min(self.step_count + 1, self.target_order)
+
+    def set_step(self, dt: float) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._next_dt = dt
+
+    def _history(self) -> list[float]:
+        if self._next_dt is None:
+            raise RuntimeError("call set_step(dt) before reading coefficients")
+        k = self.order
+        hist = [self._next_dt]
+        # Previous levels are separated by the *completed* steps.
+        hist += self._dts[: k - 1]
+        return hist
+
+    @property
+    def bdf(self) -> tuple[float, tuple[float, ...]]:
+        return variable_bdf(self._history())
+
+    @property
+    def ext(self) -> tuple[float, ...]:
+        return variable_ext(self._history())
+
+    def advance(self) -> None:
+        if self._next_dt is None:
+            raise RuntimeError("advance() without set_step()")
+        self._dts.insert(0, self._next_dt)
+        del self._dts[self.target_order :]
+        self._next_dt = None
+        self.step_count += 1

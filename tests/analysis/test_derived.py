@@ -1,0 +1,104 @@
+"""Tests for derived fields (vorticity, Q) and energy budgets."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.derived import (
+    enstrophy,
+    kinetic_energy_budget,
+    q_criterion,
+    vorticity,
+)
+from repro.sem.mesh import box_mesh
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return FunctionSpace(box_mesh((2, 2, 2)), 6)
+
+
+class TestVorticity:
+    def test_solid_body_rotation(self, sp):
+        # u = (-y, x, 0): omega = (0, 0, 2).
+        wx, wy, wz = vorticity(sp, -sp.y, sp.x, np.zeros(sp.shape))
+        assert np.allclose(wz, 2.0, atol=1e-9)
+        assert np.allclose(wx, 0.0, atol=1e-9)
+
+    def test_irrotational_flow(self, sp):
+        # u = grad(x^2 - y^2) = (2x, -2y, 0): zero vorticity.
+        wx, wy, wz = vorticity(sp, 2 * sp.x, -2 * sp.y, np.zeros(sp.shape))
+        for w in (wx, wy, wz):
+            assert np.allclose(w, 0.0, atol=1e-9)
+
+    def test_output_continuous(self, sp):
+        rng = np.random.default_rng(0)
+        u = sp.project_continuous(rng.normal(size=sp.shape))
+        wx, _, _ = vorticity(sp, u, u, u)
+        assert np.allclose(sp.gs.average(wx), wx, atol=1e-10)
+
+
+class TestQCriterion:
+    def test_positive_in_rotation(self, sp):
+        q = q_criterion(sp, -sp.y, sp.x, np.zeros(sp.shape))
+        assert np.all(q > 0.5)  # exact Q = 1 for this flow
+
+    def test_negative_in_pure_strain(self, sp):
+        q = q_criterion(sp, sp.x, -sp.y, np.zeros(sp.shape))
+        assert np.all(q < -0.5)  # exact Q = -1
+
+    def test_zero_in_uniform_flow(self, sp):
+        q = q_criterion(sp, np.ones(sp.shape), np.zeros(sp.shape), np.zeros(sp.shape))
+        assert np.allclose(q, 0.0, atol=1e-10)
+
+
+class TestEnstrophy:
+    def test_solid_body_value(self, sp):
+        # |omega| = 2 -> 0.5 * 4 * V = 2.
+        e = enstrophy(sp, -sp.y, sp.x, np.zeros(sp.shape))
+        assert e == pytest.approx(2.0, rel=1e-10)
+
+    def test_zero_for_potential_flow(self, sp):
+        e = enstrophy(sp, 2 * sp.x, -2 * sp.y, np.zeros(sp.shape))
+        assert e == pytest.approx(0.0, abs=1e-12)
+
+
+class TestEnergyBudget:
+    def test_production_sign(self, sp):
+        uz = np.sin(np.pi * sp.z) * np.ones(sp.shape)
+        t = 0.2 * np.sin(np.pi * sp.z)
+        b = kinetic_energy_budget(sp, np.zeros(sp.shape), np.zeros(sp.shape),
+                                  uz, t, 1e5, 1.0)
+        assert b.production > 0
+
+    def test_dissipation_positive(self, sp):
+        rng = np.random.default_rng(1)
+        u = sp.project_continuous(rng.normal(size=sp.shape))
+        b = kinetic_energy_budget(sp, u, u, u, np.zeros(sp.shape), 1e5, 1.0)
+        assert b.dissipation > 0
+        assert b.kinetic_energy > 0
+
+    def test_exact_dissipation_relation_field(self, sp):
+        b = kinetic_energy_budget(sp, sp.x * 0, sp.x * 0, sp.x * 0,
+                                  np.zeros(sp.shape), 1e6, 1.0, nusselt=10.0)
+        assert b.dissipation_from_nusselt == pytest.approx(9.0 / 1e3)
+
+    def test_balance_in_steady_convection(self):
+        # Run a short DNS into (quasi) steady convection and check the
+        # budget closes within a modest tolerance (coarse resolution).
+        from repro.core import Simulation, rbc_box_case
+        from repro.core.statistics import nusselt_volume
+
+        cfg = rbc_box_case(5e4, n=(3, 3, 3), lx=5, aspect=2.0, dt=2e-2,
+                           perturbation_amplitude=0.1)
+        sim = Simulation(cfg)
+        sim.run(n_steps=350)
+        ux, uy, uz = sim.velocity
+        nu = nusselt_volume(sim.space, uz, sim.temperature, 5e4, 1.0)
+        b = kinetic_energy_budget(sim.space, ux, uy, uz, sim.temperature,
+                                  5e4, 1.0, nusselt=nu)
+        # P ~ eps within 40% (instantaneous, coarse grid).
+        assert b.balance_residual < 0.4
+        # And eps consistent with the exact Nusselt relation within 50%.
+        ratio = b.dissipation / b.dissipation_from_nusselt
+        assert 0.5 < ratio < 1.6

@@ -1,0 +1,52 @@
+"""Tests for the spectral error indicator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.error_indicator import spectral_error_indicator, underresolved_elements
+from repro.sem.mesh import box_mesh
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return FunctionSpace(box_mesh((2, 2, 1)), 7)
+
+
+class TestSpectralErrorIndicator:
+    def test_smooth_field_resolved(self, sp):
+        f = np.sin(np.pi * sp.x) * np.cos(np.pi * sp.y)
+        ind = spectral_error_indicator(f)
+        assert ind["resolved"].all()
+        assert np.all(ind["error_fraction"] < 0.02)
+        assert np.all(ind["decay_rate"] > 0.5)
+
+    def test_rough_field_flagged(self, sp):
+        rng = np.random.default_rng(0)
+        f = rng.normal(size=sp.shape)  # white in modal space
+        ind = spectral_error_indicator(f)
+        assert np.all(ind["error_fraction"] > 0.05)
+        assert np.all(ind["decay_rate"] < 0.5)
+
+    def test_mixed_resolution_localized(self, sp):
+        f = np.sin(np.pi * sp.x)
+        rng = np.random.default_rng(1)
+        f[0] += 0.5 * rng.normal(size=f[0].shape)  # pollute one element
+        bad = underresolved_elements(f, error_threshold=0.05)
+        assert 0 in bad
+        assert len(bad) < sp.nelv
+
+    def test_tail_validation(self, sp):
+        with pytest.raises(ValueError):
+            spectral_error_indicator(np.ones(sp.shape), tail=1)
+
+    def test_constant_field_resolved(self, sp):
+        ind = spectral_error_indicator(np.full(sp.shape, 2.5))
+        assert np.all(ind["error_fraction"] < 1e-10)
+
+    def test_indicator_monotone_in_roughness(self, sp):
+        smooth = np.sin(np.pi * sp.x)
+        rough = np.sin(5.5 * np.pi * sp.x * sp.y)
+        e_s = spectral_error_indicator(smooth)["error_fraction"].mean()
+        e_r = spectral_error_indicator(rough)["error_fraction"].mean()
+        assert e_r > e_s

@@ -1,0 +1,146 @@
+"""Tests for the device abstraction layer."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    CpuDevice,
+    InstrumentedDevice,
+    SimulatedGpuDevice,
+    available_backends,
+    get_backend,
+)
+from repro.gpu.device import A100
+
+
+def axpy(alpha):
+    def kernel(x, y):
+        y += alpha * x
+
+    return kernel
+
+
+class TestCpuDevice:
+    def test_roundtrip(self):
+        dev = CpuDevice()
+        host = np.arange(6.0)
+        arr = dev.to_device(host)
+        host[0] = 99.0  # device copy must be independent
+        back = dev.to_host(arr)
+        assert back[0] == 0.0
+
+    def test_launch_mutates_device_memory(self):
+        dev = CpuDevice()
+        x = dev.to_device(np.ones(4))
+        y = dev.to_device(np.zeros(4))
+        dev.launch("axpy", axpy(2.0), x, y)
+        assert np.allclose(dev.to_host(y), 2.0)
+
+    def test_allocation_tracking(self):
+        dev = CpuDevice()
+        dev.allocate((10,))
+        assert dev.allocated_bytes == 80
+
+    def test_cross_device_guard(self):
+        d1, d2 = CpuDevice(), CpuDevice()
+        a = d1.to_device(np.ones(3))
+        with pytest.raises(ValueError, match="device"):
+            d2.launch("k", lambda x: None, a)
+
+
+class TestInstrumentedDevice:
+    def test_records_launches(self):
+        dev = InstrumentedDevice(CpuDevice())
+        x = dev.to_device(np.ones(1000))
+        y = dev.to_device(np.zeros(1000))
+        dev.launch("axpy", axpy(1.0), x, y)
+        dev.launch("axpy", axpy(1.0), x, y)
+        assert len(dev.records) == 2
+        n, b, t = dev.totals_by_kernel()["axpy"]
+        assert n == 2
+        assert b == 2 * 2 * 8000
+        assert t >= 0.0
+        assert np.allclose(dev.to_host(y), 2.0)
+
+    def test_measured_bandwidth_positive(self):
+        dev = InstrumentedDevice(CpuDevice())
+        x = dev.to_device(np.ones(200_000))
+        y = dev.to_device(np.zeros(200_000))
+        dev.launch("axpy", axpy(1.0), x, y)
+        assert dev.measured_bandwidth_gbs("axpy") > 0.0
+
+
+class TestSimulatedGpu:
+    def test_numerics_match_cpu(self):
+        sim = SimulatedGpuDevice(A100)
+        x = sim.to_device(np.arange(5.0))
+        y = sim.to_device(np.ones(5))
+        sim.launch("axpy", axpy(3.0), x, y)
+        assert np.allclose(sim.to_host(y), 1.0 + 3.0 * np.arange(5.0))
+
+    def test_clock_advances_per_launch(self):
+        sim = SimulatedGpuDevice(A100)
+        x = sim.to_device(np.zeros(1000))
+        t0 = sim.simulated_time_us
+        sim.launch("zero", lambda a: None, x)
+        assert sim.simulated_time_us > t0
+
+    def test_big_kernel_costs_bandwidth_time(self):
+        sim = SimulatedGpuDevice(A100)
+        n = 10_000_000
+        x = sim.to_device(np.zeros(n))
+        sim.reset_clock()
+        sim.launch("touch", lambda a: None, x)
+        sim.synchronize()
+        expect = n * 8 / (A100.peak_bandwidth_gbs * 1e9) * 1e6
+        assert sim.simulated_time_us >= expect
+
+    def test_streams_overlap_in_simulated_time(self):
+        sim = SimulatedGpuDevice(A100)
+        n = 2_000_000
+        a = sim.to_device(np.zeros(n))
+        b = sim.to_device(np.zeros(n))
+        sim.reset_clock()
+        sim.launch("k0", lambda x: None, a, stream=0)
+        sim.launch("k1", lambda x: None, b, stream=1)
+        sim.synchronize()
+        two_stream = sim.simulated_time_us
+
+        sim2 = SimulatedGpuDevice(A100)
+        a2 = sim2.to_device(np.zeros(n))
+        b2 = sim2.to_device(np.zeros(n))
+        sim2.reset_clock()
+        sim2.launch("k0", lambda x: None, a2, stream=0)
+        sim2.launch("k1", lambda x: None, b2, stream=0)
+        sim2.synchronize()
+        one_stream = sim2.simulated_time_us
+        assert two_stream < one_stream
+
+    def test_transfer_accounting(self):
+        sim = SimulatedGpuDevice(A100)
+        x = sim.to_device(np.zeros(100))
+        sim.to_host(x)
+        assert sim.h2d_bytes == 800
+        assert sim.d2h_bytes == 800
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_backends()
+        assert "cpu" in names
+        assert "sim:a100" in names
+
+    def test_get_backend_constructs_fresh(self):
+        d1 = get_backend("cpu")
+        d2 = get_backend("cpu")
+        assert d1 is not d2
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="available"):
+            get_backend("nope")
+
+    def test_sim_backend_runs(self):
+        dev = get_backend("sim:mi250x")
+        x = dev.to_device(np.ones(10))
+        dev.launch("noop", lambda a: None, x)
+        assert dev.simulated_time_us > 0

@@ -1,0 +1,212 @@
+"""Tests for the rank simulator, partitioning and distributed gather-scatter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    DistributedGatherScatter,
+    SimWorld,
+    linear_partition,
+    partition_quality,
+    rcb_partition,
+)
+from repro.sem.mesh import box_mesh, cylinder_mesh
+from repro.sem.space import FunctionSpace
+
+
+class TestSimWorld:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+    def test_allreduce_scalar_ops(self):
+        w = SimWorld(3)
+        assert w.allreduce_scalar([1.0, 2.0, 3.0]) == 6.0
+        assert w.allreduce_scalar([1.0, 2.0, 3.0], "max") == 3.0
+        assert w.allreduce_scalar([1.0, 2.0, 3.0], "min") == 1.0
+        assert w.stats.allreduce_calls == 3
+
+    def test_allreduce_array(self):
+        w = SimWorld(2)
+        out = w.allreduce_array([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert np.allclose(out, [4.0, 6.0])
+
+    def test_wrong_rank_count_raises(self):
+        w = SimWorld(2)
+        with pytest.raises(ValueError):
+            w.allreduce_scalar([1.0])
+
+    def test_exchange_counts_offrank_only(self):
+        w = SimWorld(2)
+        out = w.exchange({(0, 1): np.zeros(4), (1, 1): np.zeros(4)})
+        assert w.stats.p2p_messages == 1
+        assert w.stats.p2p_bytes == 32
+        assert set(out) == {(0, 1), (1, 1)}
+
+    def test_exchange_copies(self):
+        w = SimWorld(2)
+        buf = np.ones(2)
+        out = w.exchange({(0, 1): buf})
+        buf[:] = 5.0
+        assert np.allclose(out[(0, 1)], 1.0)
+
+
+class TestPartition:
+    def test_linear_balance(self):
+        p = linear_partition(10, 3)
+        counts = np.bincount(p)
+        assert counts.tolist() == [4, 3, 3]
+        assert np.all(np.diff(p) >= 0)
+
+    def test_linear_invalid(self):
+        with pytest.raises(ValueError):
+            linear_partition(2, 5)
+
+    def test_rcb_balance(self):
+        mesh = box_mesh((4, 4, 2))
+        for nr in (2, 3, 4, 7):
+            owner = rcb_partition(mesh, nr)
+            counts = np.bincount(owner, minlength=nr)
+            assert counts.min() >= 1
+            assert counts.max() - counts.min() <= max(2, mesh.nelv // nr // 2)
+
+    def test_rcb_spatial_compactness(self):
+        # With 2 ranks on an elongated box, RCB must split along x.
+        mesh = box_mesh((8, 2, 2), lengths=(8.0, 1.0, 1.0))
+        owner = rcb_partition(mesh, 2)
+        cent = mesh.corner_coords.reshape(mesh.nelv, 8, 3).mean(axis=1)
+        x0 = cent[owner == 0, 0]
+        x1 = cent[owner == 1, 0]
+        assert x0.max() <= x1.min() or x1.max() <= x0.min()
+
+    def test_quality_metrics(self):
+        mesh = box_mesh((4, 2, 2))
+        sp = FunctionSpace(mesh, 4)
+        owner = rcb_partition(mesh, 4)
+        q = partition_quality(owner, sp.gs.global_ids, mesh.nelv, sp.lx**3)
+        assert q["n_ranks"] == 4
+        assert q["imbalance"] >= 1.0
+        assert q["shared_nodes_global"] > 0
+        # RCB should not beat the theoretical minimum: one face of shared
+        # nodes per cut at least.
+        assert q["max_shared_per_rank"] >= sp.lx**2
+
+
+class TestDistributedGS:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4])
+    def test_matches_single_rank(self, nranks):
+        mesh = box_mesh((3, 2, 2))
+        sp = FunctionSpace(mesh, 4)
+        world = SimWorld(nranks)
+        owner = rcb_partition(mesh, nranks)
+        dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=sp.shape)
+        got = dgs.add_full(u)
+        ref = sp.gs.add(u)
+        assert np.allclose(got, ref, atol=1e-12)
+
+    def test_cylinder_mesh(self):
+        mesh = cylinder_mesh(n_square=2, n_ring=1, n_z=2)
+        sp = FunctionSpace(mesh, 4)
+        world = SimWorld(3)
+        owner = rcb_partition(mesh, 3)
+        dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+        rng = np.random.default_rng(1)
+        u = rng.normal(size=sp.shape)
+        assert np.allclose(dgs.add_full(u), sp.gs.add(u), atol=1e-12)
+
+    def test_traffic_recorded(self):
+        mesh = box_mesh((2, 2, 1))
+        sp = FunctionSpace(mesh, 4)
+        world = SimWorld(2)
+        owner = linear_partition(mesh.nelv, 2)
+        dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+        dgs.add_full(np.ones(sp.shape))
+        assert world.stats.p2p_messages > 0
+        assert world.stats.p2p_bytes > 0
+        assert dgs.n_shared > 0
+
+    def test_single_rank_no_traffic(self):
+        mesh = box_mesh((2, 1, 1))
+        sp = FunctionSpace(mesh, 4)
+        world = SimWorld(1)
+        owner = linear_partition(mesh.nelv, 1)
+        dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+        dgs.add_full(np.ones(sp.shape))
+        assert world.stats.p2p_messages == 0
+
+    def test_dot_matches_single_rank(self):
+        mesh = box_mesh((2, 2, 1))
+        sp = FunctionSpace(mesh, 4)
+        world = SimWorld(2)
+        owner = linear_partition(mesh.nelv, 2)
+        dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=sp.shape)
+        b = rng.normal(size=sp.shape)
+        got = dgs.dot(dgs.scatter_field(a), dgs.scatter_field(b))
+        assert got == pytest.approx(sp.gs.dot(a, b), rel=1e-12)
+
+    @pytest.mark.parametrize("nranks", [2, 3, 4])
+    def test_one_sided_matches_two_phase(self, nranks):
+        # The Coarray/SHMEM-style one-round algorithm must be bit-identical
+        # to the owner-reduces two-phase one.
+        mesh = box_mesh((3, 2, 2))
+        sp = FunctionSpace(mesh, 4)
+        world = SimWorld(nranks)
+        owner = rcb_partition(mesh, nranks)
+        dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+        rng = np.random.default_rng(7)
+        u = rng.normal(size=sp.shape)
+        two = dgs.add_full(u, algorithm="two_phase")
+        one = dgs.add_full(u, algorithm="one_sided")
+        assert np.array_equal(two, one)
+        assert np.allclose(two, sp.gs.add(u), atol=1e-12)
+
+    def test_one_sided_single_round_more_messages(self):
+        # One-sided: one communication round, but symmetric all-to-all
+        # among holders (more messages than owner-centric two-phase).
+        mesh = box_mesh((2, 2, 2))
+        sp = FunctionSpace(mesh, 4)
+        owner = linear_partition(mesh.nelv, 4)
+
+        w2 = SimWorld(4)
+        d2 = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, w2)
+        d2.add_full(np.ones(sp.shape))
+        w1 = SimWorld(4)
+        d1 = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, w1)
+        d1.add_full(np.ones(sp.shape), algorithm="one_sided")
+        assert w1.stats.p2p_messages >= w2.stats.p2p_messages
+
+    def test_unknown_algorithm_rejected(self):
+        mesh = box_mesh((2, 1, 1))
+        sp = FunctionSpace(mesh, 3)
+        dgs = DistributedGatherScatter(
+            sp.gs.global_ids, linear_partition(2, 2), sp.shape, SimWorld(2)
+        )
+        with pytest.raises(ValueError, match="algorithm"):
+            dgs.add(dgs.scatter_field(np.ones(sp.shape)), algorithm="magic")
+
+    def test_too_many_ranks_rejected(self):
+        mesh = box_mesh((2, 1, 1))
+        sp = FunctionSpace(mesh, 4)
+        with pytest.raises(ValueError):
+            DistributedGatherScatter(
+                sp.gs.global_ids, np.array([0, 5]), sp.shape, SimWorld(2)
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(nranks=st.integers(min_value=1, max_value=6), seed=st.integers(0, 100))
+def test_property_distributed_gs_rank_invariant(nranks, seed):
+    """Property: the dssum result is independent of the rank count."""
+    mesh = box_mesh((3, 2, 1))
+    sp = FunctionSpace(mesh, 3)
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=sp.shape)
+    owner = linear_partition(mesh.nelv, nranks)
+    dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, SimWorld(nranks))
+    assert np.allclose(dgs.add_full(u), sp.gs.add(u), atol=1e-12)

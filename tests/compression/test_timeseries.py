@@ -1,0 +1,73 @@
+"""Tests for the compressed time-series container."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SpectralCompressor
+from repro.compression.timeseries import CompressedSeriesWriter, read_compressed_series
+from repro.sem.mesh import box_mesh
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return FunctionSpace(box_mesh((2, 1, 1)), 5)
+
+
+def snapshots(sp, n=5):
+    out = []
+    for i in range(n):
+        out.append(np.sin(2 * np.pi * sp.x + 0.3 * i) * np.cos(np.pi * sp.z))
+    return out
+
+
+class TestCompressedSeries:
+    def test_roundtrip(self, sp, tmp_path):
+        comp = SpectralCompressor(sp, error_bound=0.01)
+        snaps = snapshots(sp)
+        path = tmp_path / "series.rprs"
+        with CompressedSeriesWriter(path, comp) as w:
+            for i, s in enumerate(snaps):
+                w.append(s, name="T", time=0.1 * i)
+        records = read_compressed_series(path)
+        assert len(records) == len(snaps)
+        for i, (meta, cf) in enumerate(records):
+            assert meta["name"] == "T"
+            assert meta["time"] == pytest.approx(0.1 * i)
+            rec = cf.decompress()
+            err = sp.norm_l2(rec - snaps[i]) / sp.norm_l2(snaps[i])
+            assert err < 0.02
+
+    def test_reduction_reported(self, sp, tmp_path):
+        comp = SpectralCompressor(sp, error_bound=0.02)
+        w = CompressedSeriesWriter(tmp_path / "s.rprs", comp)
+        for s in snapshots(sp, 4):
+            w.append(s, "T")
+        meta = w.close()
+        assert meta["reduction"] > 0.5
+        assert len(meta["records"]) == 4
+
+    def test_double_close_raises(self, sp, tmp_path):
+        w = CompressedSeriesWriter(tmp_path / "s.rprs", SpectralCompressor(sp))
+        w.close()
+        with pytest.raises(RuntimeError):
+            w.close()
+        with pytest.raises(RuntimeError):
+            w.append(np.zeros(sp.shape), "T")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        p = tmp_path / "bad.rprs"
+        p.write_bytes(b"not a series")
+        with pytest.raises(ValueError):
+            read_compressed_series(p)
+
+    def test_mixed_fields(self, sp, tmp_path):
+        comp = SpectralCompressor(sp, error_bound=0.02)
+        path = tmp_path / "mixed.rprs"
+        with CompressedSeriesWriter(path, comp) as w:
+            w.append(np.sin(np.pi * sp.x), "ux", time=1.0)
+            w.append(0.5 - sp.z, "T", time=1.0)
+        recs = read_compressed_series(path)
+        assert [m["name"] for m, _ in recs] == ["ux", "T"]
+        t_rec = recs[1][1].decompress()
+        assert np.allclose(t_rec, 0.5 - sp.z, atol=1e-3)

@@ -1,0 +1,168 @@
+"""Tests for the machine, network and scaling models."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    LEONARDO,
+    LUMI,
+    NetworkModel,
+    SEMWorkModel,
+    StrongScalingStudy,
+    platform_table,
+    walltime_breakdown,
+)
+from repro.perfmodel.breakdown import render_breakdown
+
+
+class TestMachineSpecs:
+    def test_table1_values(self):
+        # Straight from the paper's Table 1.
+        assert LUMI.peak_tflops_table == 47.9
+        assert LUMI.peak_bw_table == 3300.0
+        assert LUMI.interconnect == "HPE Slingshot 11"
+        assert LUMI.mpi == "Cray MPICH 8.1.18"
+        assert LUMI.runtime == "ROCm 5.2.3"
+        assert LEONARDO.peak_tflops_table == 9.7
+        assert LEONARDO.peak_bw_table == 1550.0
+        assert LEONARDO.n_logical_gpus == 13824
+        assert LEONARDO.compiler == "GCC 8.5.0"
+        assert LEONARDO.runtime == "CUDA 11.8"
+
+    def test_rank_and_rmax(self):
+        assert LUMI.top500_rank_nov22 == 3
+        assert LEONARDO.top500_rank_nov22 == 4
+        assert LUMI.rmax_pflops > LEONARDO.rmax_pflops
+
+    def test_lumi_gcd_counting(self):
+        # 16384 GCDs = 80% of the machine (the paper's largest run).
+        assert 16384 / LUMI.n_logical_gpus == pytest.approx(0.80)
+        # Leonardo runs used 25% and 50%.
+        assert 3456 / LEONARDO.n_logical_gpus == pytest.approx(0.25)
+        assert 6912 / LEONARDO.n_logical_gpus == pytest.approx(0.50)
+
+    def test_machine_balance(self):
+        # Both machines are strongly bandwidth-starved per flop (< 0.2 B/F),
+        # the paper's argument for matrix-free methods.
+        assert LUMI.machine_balance_bytes_per_flop < 0.2
+        assert LEONARDO.machine_balance_bytes_per_flop < 0.2
+
+    def test_platform_table_contains_rows(self):
+        txt = platform_table()
+        for token in ("LUMI", "Leonardo", "Slingshot", "Cray MPICH", "CUDA 11.8", "47.9"):
+            assert token in txt
+
+
+class TestNetworkModel:
+    def test_message_latency_floor(self):
+        net = NetworkModel(LUMI)
+        assert net.message_us(0) == pytest.approx(net.alpha_us)
+
+    def test_message_bandwidth_term(self):
+        net = NetworkModel(LUMI)
+        t_small = net.message_us(1e3)
+        t_big = net.message_us(1e7)
+        assert t_big > t_small * 10
+
+    def test_allreduce_grows_logarithmically(self):
+        net = NetworkModel(LUMI)
+        t1k = net.allreduce_us(1024)
+        t16k = net.allreduce_us(16384)
+        assert t16k > t1k
+        # log growth: 16x more ranks adds a constant, not a factor.
+        assert t16k < 2 * t1k
+
+    def test_allreduce_magnitude(self):
+        # 8-byte allreduce at 16k ranks on Slingshot: O(10-20 us).
+        net = NetworkModel(LUMI)
+        assert 5.0 < net.allreduce_us(16384) < 40.0
+
+    def test_single_rank_no_cost(self):
+        net = NetworkModel(LUMI)
+        assert net.allreduce_us(1) == 0.0
+
+    def test_halo_intra_node_discount(self):
+        full_nic = NetworkModel(LUMI, intra_node_fraction=0.0)
+        blended = NetworkModel(LUMI)
+        assert blended.halo_exchange_us(1e6) < full_nic.halo_exchange_us(1e6)
+
+
+class TestWorkModel:
+    def test_traffic_scales_linearly_with_elements(self):
+        w = SEMWorkModel()
+        m1, c1 = w.pressure_traffic(1000)
+        m2, c2 = w.pressure_traffic(2000)
+        assert m2 == pytest.approx(2 * m1)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_schwarz_extended_arrays_cost_more(self):
+        w = SEMWorkModel(lx=8)
+        assert w.schwarz_passes() > 11.0
+
+    def test_step_costs_structure(self):
+        w = SEMWorkModel()
+        net = NetworkModel(LUMI)
+        costs = w.step_costs(7000, LUMI.device, net, 16384)
+        assert set(costs) >= {"pressure", "velocity", "temperature", "advection"}
+        for c in costs.values():
+            assert c.compute_us >= 0 and c.halo_us >= 0
+
+    def test_overlap_reduces_pressure_time(self):
+        net = NetworkModel(LUMI)
+        w_on = SEMWorkModel(overlap_preconditioner=True)
+        w_off = SEMWorkModel(overlap_preconditioner=False)
+        t_on = w_on.step_time_us(7000, LUMI.device, net, 16384)
+        t_off = w_off.step_time_us(7000, LUMI.device, net, 16384)
+        assert t_on < t_off
+
+
+class TestScaling:
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            StrongScalingStudy(LUMI).time_per_step(0)
+
+    def test_fig3_lumi_near_perfect(self):
+        pts = StrongScalingStudy(LUMI).paper_series()
+        assert [p.n_gpus for p in pts] == [4096, 8192, 16384]
+        # Paper: "close to perfect parallel efficiency".
+        assert pts[-1].parallel_efficiency > 0.85
+        assert pts[1].parallel_efficiency > 0.92
+        # < 7000 elements per logical GPU at the largest run.
+        assert pts[-1].elements_per_gpu < 7000
+
+    def test_fig3_leonardo_near_perfect(self):
+        pts = StrongScalingStudy(LEONARDO).paper_series()
+        assert [p.n_gpus for p in pts] == [3456, 6912]
+        assert pts[-1].parallel_efficiency > 0.9
+
+    def test_overlap_ablation_degrades_efficiency(self):
+        on = StrongScalingStudy(LUMI).paper_series()
+        off = StrongScalingStudy(
+            LUMI, work=SEMWorkModel(overlap_preconditioner=False)
+        ).paper_series()
+        assert off[-1].parallel_efficiency < on[-1].parallel_efficiency - 0.05
+
+    def test_times_decrease_with_gpus(self):
+        pts = StrongScalingStudy(LUMI).sweep([2048, 4096, 8192, 16384])
+        ts = [p.time_per_step_s for p in pts]
+        assert all(a > b for a, b in zip(ts, ts[1:]))
+
+    def test_render(self):
+        st = StrongScalingStudy(LUMI)
+        txt = st.render(st.sweep([4096, 8192]))
+        assert "LUMI" in txt and "efficiency" in txt
+
+
+class TestBreakdown:
+    def test_fig4_pressure_dominates(self):
+        fr = walltime_breakdown(LUMI, 16384)
+        assert fr["pressure"] > 0.85  # the paper's ">85%"
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_breakdown_orders(self):
+        fr = walltime_breakdown(LUMI, 16384)
+        assert fr["pressure"] > fr["velocity"] > fr["temperature"]
+
+    def test_render_breakdown(self):
+        txt = render_breakdown(walltime_breakdown(LEONARDO, 6912), "Leonardo")
+        assert "pressure" in txt and "%" in txt

@@ -1,0 +1,146 @@
+"""Tests for 1-D basis operators: interpolation, differentiation, modal transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sem.basis import (
+    derivative_matrix,
+    lagrange_interpolation_matrix,
+    lagrange_weights,
+    modal_transform_matrix,
+)
+from repro.sem.quadrature import gll_points_weights
+
+
+class TestDerivativeMatrix:
+    @pytest.mark.parametrize("lx", [2, 4, 7, 10])
+    def test_constant_has_zero_derivative(self, lx):
+        d = derivative_matrix(lx)
+        assert np.allclose(d @ np.ones(lx), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("lx", [3, 5, 8])
+    def test_differentiates_monomials_exactly(self, lx):
+        x, _ = gll_points_weights(lx)
+        d = derivative_matrix(lx)
+        for p in range(1, lx):
+            assert np.allclose(d @ x**p, p * x ** (p - 1), atol=1e-10)
+
+    def test_rows_of_d_are_skew_structured(self):
+        # D has the exact corner entries -N(N+1)/4 and +N(N+1)/4.
+        lx = 8
+        n = lx - 1
+        d = derivative_matrix(lx)
+        assert d[0, 0] == pytest.approx(-n * (n + 1) / 4.0)
+        assert d[-1, -1] == pytest.approx(n * (n + 1) / 4.0)
+
+    def test_integration_by_parts_identity(self):
+        # w_i (Du)_i v_i + u_i (Dv)_i w_i = boundary terms (exact for polys).
+        lx = 7
+        x, w = gll_points_weights(lx)
+        d = derivative_matrix(lx)
+        rng = np.random.default_rng(7)
+        u = rng.normal(size=lx)
+        v = rng.normal(size=lx)
+        lhs = np.sum(w * (d @ u) * v) + np.sum(w * u * (d @ v))
+        rhs = u[-1] * v[-1] - u[0] * v[0]
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+
+class TestInterpolation:
+    def test_identity_on_same_grid(self):
+        x, _ = gll_points_weights(6)
+        j = lagrange_interpolation_matrix(np.asarray(x), 6)
+        assert np.allclose(j, np.eye(6), atol=1e-12)
+
+    @pytest.mark.parametrize("lx,lxd", [(4, 6), (6, 9), (8, 12)])
+    def test_polynomial_exactness(self, lx, lxd):
+        xf, _ = gll_points_weights(lxd)
+        xc, _ = gll_points_weights(lx)
+        j = lagrange_interpolation_matrix(np.asarray(xf), lx)
+        for p in range(lx):
+            assert np.allclose(j @ np.asarray(xc) ** p, np.asarray(xf) ** p, atol=1e-11)
+
+    def test_partition_of_unity(self):
+        xf = np.linspace(-1, 1, 17)
+        j = lagrange_interpolation_matrix(xf, 7)
+        assert np.allclose(np.sum(j, axis=1), 1.0, atol=1e-12)
+
+    def test_exact_node_hit(self):
+        xc, _ = gll_points_weights(5)
+        j = lagrange_interpolation_matrix(np.array([xc[2]]), 5)
+        expect = np.zeros(5)
+        expect[2] = 1.0
+        assert np.allclose(j[0], expect)
+
+    def test_barycentric_weights_alternate_sign(self):
+        w = lagrange_weights(8)
+        assert np.all(np.sign(w) == np.sign(w[0]) * (-1.0) ** np.arange(8))
+
+
+class TestModalTransform:
+    @pytest.mark.parametrize("lx", [3, 5, 8, 11])
+    def test_roundtrip(self, lx):
+        v = modal_transform_matrix(lx)
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=lx)
+        uh = np.linalg.solve(v, u)
+        assert np.allclose(v @ uh, u, atol=1e-11)
+
+    def test_constant_maps_to_single_mode(self):
+        lx = 7
+        v = modal_transform_matrix(lx)
+        uh = np.linalg.solve(v, np.ones(lx))
+        assert uh[0] == pytest.approx(np.sqrt(2.0))
+        assert np.allclose(uh[1:], 0.0, atol=1e-12)
+
+    def test_modes_orthonormal_under_exact_integration(self):
+        # Use a much finer GL rule to integrate products of modes exactly.
+        lx = 6
+        v_cols = modal_transform_matrix(lx)
+        xq, wq = np.polynomial.legendre.leggauss(3 * lx)
+        from repro.sem.basis import legendre_polynomial
+
+        gram = np.zeros((lx, lx))
+        for a in range(lx):
+            pa = legendre_polynomial(a, xq) * np.sqrt((2 * a + 1) / 2)
+            for b in range(lx):
+                pb = legendre_polynomial(b, xq) * np.sqrt((2 * b + 1) / 2)
+                gram[a, b] = np.sum(wq * pa * pb)
+        assert np.allclose(gram, np.eye(lx), atol=1e-12)
+        assert v_cols.shape == (lx, lx)
+
+    def test_parseval_with_exact_inverse(self):
+        # Modal energy equals the exact L2 norm of the interpolant.
+        lx = 6
+        v = modal_transform_matrix(lx)
+        rng = np.random.default_rng(11)
+        u = rng.normal(size=lx)
+        uh = np.linalg.solve(v, u)
+        # Exact L2 norm of the degree-(lx-1) interpolant via fine GL rule.
+        xq, wq = np.polynomial.legendre.leggauss(2 * lx)
+        jf = lagrange_interpolation_matrix(xq, lx)
+        norm_exact = np.sum(wq * (jf @ u) ** 2)
+        assert np.sum(uh**2) == pytest.approx(norm_exact, rel=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lx=st.integers(min_value=3, max_value=9),
+    coeffs=st.lists(st.floats(-5, 5), min_size=1, max_size=4),
+)
+def test_interpolate_then_differentiate_commutes(lx, coeffs):
+    """Property: D_fine J u == J' applied to polynomial data (degree < lx)."""
+    deg = min(len(coeffs) - 1, lx - 2)
+    coeffs = np.asarray(coeffs[: deg + 1])
+    xc, _ = gll_points_weights(lx)
+    lxd = lx + 2
+    xf, _ = gll_points_weights(lxd)
+    u = np.polyval(coeffs, np.asarray(xc))
+    j = lagrange_interpolation_matrix(np.asarray(xf), lx)
+    df = derivative_matrix(lxd)
+    dc = derivative_matrix(lx)
+    lhs = df @ (j @ u)
+    rhs = j @ (dc @ u)
+    assert np.allclose(lhs, rhs, atol=1e-8)

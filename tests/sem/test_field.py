@@ -1,0 +1,66 @@
+"""Tests for the Field / VectorField user-facing API."""
+
+import numpy as np
+import pytest
+
+from repro.sem.field import Field, VectorField
+from repro.sem.mesh import box_mesh
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return FunctionSpace(box_mesh((2, 2, 1), lengths=(1.0, 1.0, 2.0)), 4)
+
+
+class TestField:
+    def test_default_zero(self, sp):
+        f = Field(sp, "t")
+        assert f.l2 == 0.0
+        assert f.name == "t"
+
+    def test_shape_validation(self, sp):
+        with pytest.raises(ValueError):
+            Field(sp, data=np.zeros((1, 2, 3)))
+
+    def test_fill_and_mean(self, sp):
+        f = Field(sp).fill(3.0)
+        assert f.mean == pytest.approx(3.0)
+        assert f.minimum == 3.0
+        assert f.maximum == 3.0
+
+    def test_set_from(self, sp):
+        f = Field(sp).set_from(lambda x, y, z: x + 2 * y)
+        assert np.allclose(f.data, sp.x + 2 * sp.y)
+
+    def test_copy_independent(self, sp):
+        f = Field(sp).fill(1.0)
+        g = f.copy("g")
+        g.data[:] = 5.0
+        assert f.maximum == 1.0
+        assert g.name == "g"
+
+    def test_l2_norm(self, sp):
+        f = Field(sp).fill(1.0)
+        # ||1||_L2 = sqrt(volume) = sqrt(2).
+        assert f.l2 == pytest.approx(np.sqrt(2.0))
+
+
+class TestVectorField:
+    def test_components(self, sp):
+        v = VectorField(sp, "u")
+        assert v.x.name == "u_x"
+        assert len(v.components) == 3
+
+    def test_magnitude(self, sp):
+        v = VectorField(sp)
+        v.x.fill(3.0)
+        v.y.fill(4.0)
+        mag = v.magnitude()
+        assert np.allclose(mag.data, 5.0)
+
+    def test_kinetic_energy(self, sp):
+        v = VectorField(sp)
+        v.z.fill(2.0)
+        # 0.5 * |u|^2 * V = 0.5 * 4 * 2 = 4.
+        assert v.kinetic_energy() == pytest.approx(4.0)

@@ -1,0 +1,68 @@
+"""Tests for the modal low-pass filter."""
+
+import numpy as np
+import pytest
+
+from repro.compression.transform import to_modal
+from repro.sem.filter import ModalFilter
+from repro.sem.mesh import box_mesh
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return FunctionSpace(box_mesh((2, 1, 1)), 6)
+
+
+class TestModalFilter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModalFilter(6, strength=1.5)
+        with pytest.raises(ValueError):
+            ModalFilter(6, cutoff=0)
+
+    def test_low_modes_untouched(self, sp):
+        f = ModalFilter(sp.lx, cutoff=4, strength=0.3)
+        u = sp.x**2 + sp.y  # degree 2 < cutoff
+        assert np.allclose(f(u), u, atol=1e-11)
+
+    def test_top_mode_attenuated(self, sp):
+        filt = ModalFilter(sp.lx, cutoff=3, strength=0.2)
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=sp.shape)
+        uh = to_modal(u)
+        vh = to_modal(filt(u))
+        sigma = filt.transfer_function()
+        # The pure top r-mode column scales by sigma[-1] (times lower-mode
+        # factors in the other directions = 1 for mode 0).
+        assert vh[0, 0, 0, -1] == pytest.approx(uh[0, 0, 0, -1] * sigma[-1], rel=1e-10)
+        assert vh[0, 0, 0, 1] == pytest.approx(uh[0, 0, 0, 1], rel=1e-10)
+
+    def test_transfer_function_shape(self):
+        filt = ModalFilter(8, cutoff=6, strength=0.1)
+        sigma = filt.transfer_function()
+        assert np.all(sigma[:6] == 1.0)
+        assert sigma[-1] == pytest.approx(0.9)
+        assert np.all(np.diff(sigma) <= 1e-15)
+
+    def test_idempotent_limit(self, sp):
+        # strength 0 = identity.
+        filt = ModalFilter(sp.lx, strength=0.0)
+        rng = np.random.default_rng(1)
+        u = rng.normal(size=sp.shape)
+        assert np.allclose(filt(u), u, atol=1e-11)
+
+    def test_reduces_spectral_error_indicator(self, sp):
+        from repro.analysis import spectral_error_indicator
+
+        rng = np.random.default_rng(2)
+        u = rng.normal(size=sp.shape)
+        filt = ModalFilter(sp.lx, cutoff=3, strength=0.9)
+        e0 = spectral_error_indicator(u)["error_fraction"].mean()
+        e1 = spectral_error_indicator(filt(u))["error_fraction"].mean()
+        assert e1 < e0
+
+    def test_wrong_lx_rejected(self, sp):
+        filt = ModalFilter(5)
+        with pytest.raises(ValueError):
+            filt(np.zeros(sp.shape))

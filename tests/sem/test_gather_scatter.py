@@ -1,0 +1,133 @@
+"""Tests for the gather--scatter operation and global numbering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sem.gather_scatter import GatherScatter, build_global_numbering
+from repro.sem.mesh import box_mesh, cylinder_mesh
+from repro.sem.space import FunctionSpace
+
+
+def make_gs(mesh, lx):
+    x, y, z = mesh.gll_coordinates(lx)
+    coords = np.stack([x.reshape(-1), y.reshape(-1), z.reshape(-1)], axis=1)
+    return GatherScatter(coords, (mesh.nelv, lx, lx, lx), periodic_image=mesh.periodic_image)
+
+
+class TestGlobalNumbering:
+    def test_single_element(self):
+        m = box_mesh((1, 1, 1))
+        x, y, z = m.gll_coordinates(4)
+        coords = np.stack([x.reshape(-1), y.reshape(-1), z.reshape(-1)], axis=1)
+        ids, n = build_global_numbering(coords)
+        assert n == 64
+        assert len(np.unique(ids)) == 64
+
+    def test_two_elements_share_face(self):
+        m = box_mesh((2, 1, 1))
+        lx = 4
+        x, y, z = m.gll_coordinates(lx)
+        coords = np.stack([x.reshape(-1), y.reshape(-1), z.reshape(-1)], axis=1)
+        _, n = build_global_numbering(coords)
+        assert n == 2 * lx**3 - lx**2
+
+    def test_periodic_wrapping_reduces_count(self):
+        lx = 4
+        m_per = box_mesh((2, 1, 1), periodic=(True, False, False))
+        m_nop = box_mesh((2, 1, 1))
+        gs_p = make_gs(m_per, lx)
+        gs_n = make_gs(m_nop, lx)
+        # Periodicity merges the two x-extreme faces.
+        assert gs_p.n_global == gs_n.n_global - lx**2
+
+    def test_mismatched_shape_raises(self):
+        m = box_mesh((1, 1, 1))
+        x, y, z = m.gll_coordinates(4)
+        coords = np.stack([x.reshape(-1), y.reshape(-1), z.reshape(-1)], axis=1)
+        with pytest.raises(ValueError):
+            GatherScatter(coords, (1, 3, 3, 3))
+
+
+class TestGatherScatterOps:
+    @pytest.fixture(scope="class")
+    def gs(self):
+        return make_gs(box_mesh((2, 2, 1)), 4)
+
+    def test_add_on_continuous_multiplies_by_multiplicity(self, gs):
+        u = np.ones(gs.shape)
+        v = gs.add(u)
+        assert np.allclose(v, gs.multiplicity)
+
+    def test_average_identity_on_continuous(self, gs):
+        rng = np.random.default_rng(1)
+        ug = rng.normal(size=gs.n_global)
+        u = gs.scatter_unique(ug)
+        assert np.allclose(gs.average(u), u, atol=1e-13)
+
+    def test_add_is_linear(self, gs):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=gs.shape), rng.normal(size=gs.shape)
+        assert np.allclose(gs.add(a + 2 * b), gs.add(a) + 2 * gs.add(b), atol=1e-12)
+
+    def test_add_idempotent_structure(self, gs):
+        # gs.add(gs.average(u)) == gs.add(u) restructured: average then add
+        # equals add (both produce the assembled value at every duplicate).
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=gs.shape)
+        assert np.allclose(gs.add(gs.average(u)), gs.add(u), atol=1e-12)
+
+    def test_min_max(self, gs):
+        u = np.ones(gs.shape)
+        flat = u.reshape(-1)
+        # Last node of element 0 is the interior corner shared by all four
+        # elements of the 2x2x1 box (multiplicity 4).
+        k = 4**3 - 1
+        flat[k] = -5.0
+        dup = gs.global_ids == gs.global_ids[k]
+        assert np.count_nonzero(dup) == 4
+        v = gs.min(u)
+        assert np.all(v.reshape(-1)[dup] == -5.0)
+        w = gs.max(u)
+        assert np.all(w.reshape(-1)[dup] == 1.0)
+
+    def test_multiplicity_counts(self, gs):
+        # Interior nodes multiplicity 1; face nodes 2; edge nodes 4 for 2x2x1.
+        m = gs.multiplicity
+        assert np.all(m[:, :, 1:-1, 1:-1][:, 1:-1] == 1.0)
+        assert m.max() == 4.0
+
+    def test_gather_scatter_unique_roundtrip(self, gs):
+        rng = np.random.default_rng(4)
+        ug = rng.normal(size=gs.n_global)
+        assert np.allclose(gs.gather_unique(gs.scatter_unique(ug)), ug)
+
+    def test_gather_unique_reduce(self, gs):
+        u = np.ones(gs.shape)
+        red = gs.gather_unique(u, reduce_duplicates=True)
+        mult_unique = gs.gather_unique(gs.multiplicity)
+        assert np.allclose(red, mult_unique)
+
+    def test_dot_counts_unique_once(self, gs):
+        u = np.ones(gs.shape)
+        assert gs.dot(u, u) == pytest.approx(gs.n_global)
+
+    def test_cylinder_gs_consistency(self):
+        gs = make_gs(cylinder_mesh(n_square=2, n_ring=2, n_z=2), 4)
+        rng = np.random.default_rng(5)
+        ug = rng.normal(size=gs.n_global)
+        u = gs.scatter_unique(ug)
+        assert np.allclose(gs.average(u), u, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_average_is_projection(seed):
+    """Property: averaging twice equals averaging once (projection onto C^0)."""
+    gs = make_gs(box_mesh((2, 1, 1)), 3)
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=gs.shape)
+    once = gs.average(u)
+    twice = gs.average(once)
+    assert np.allclose(once, twice, atol=1e-12)

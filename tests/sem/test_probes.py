@@ -1,0 +1,86 @@
+"""Tests for arbitrary-point field evaluation (probes)."""
+
+import numpy as np
+import pytest
+
+from repro.sem.mesh import box_mesh, cylinder_mesh
+from repro.sem.probes import FieldProbes
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return FunctionSpace(box_mesh((2, 2, 2), lengths=(1.0, 2.0, 1.0)), 5)
+
+
+class TestProbesBox:
+    def test_polynomial_exact(self, sp):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform([0.05, 0.05, 0.05], [0.95, 1.95, 0.95], size=(20, 3))
+        probes = FieldProbes(sp, pts)
+        f = sp.x**2 * sp.y + 3 * sp.z
+        vals = probes.evaluate(f)
+        expect = pts[:, 0] ** 2 * pts[:, 1] + 3 * pts[:, 2]
+        assert np.allclose(vals, expect, atol=1e-10)
+
+    def test_gll_node_hit(self, sp):
+        # Probing exactly at a GLL node returns the nodal value.
+        e, k, j, i = 3, 2, 1, 4
+        p = np.array([[sp.x[e, k, j, i], sp.y[e, k, j, i], sp.z[e, k, j, i]]])
+        probes = FieldProbes(sp, p)
+        f = np.cos(sp.x) * sp.y
+        assert probes.evaluate(f)[0] == pytest.approx(f[e, k, j, i], abs=1e-11)
+
+    def test_element_interface_point(self, sp):
+        # A point exactly on an element interface is found in some element
+        # and evaluates consistently.
+        p = np.array([[0.5, 1.0, 0.5]])
+        probes = FieldProbes(sp, p)
+        f = sp.x + sp.y + sp.z
+        assert probes.evaluate(f)[0] == pytest.approx(2.0, abs=1e-10)
+
+    def test_outside_strict_raises(self, sp):
+        with pytest.raises(ValueError, match="not found"):
+            FieldProbes(sp, np.array([[5.0, 0.5, 0.5]]))
+
+    def test_outside_nonstrict_nan(self, sp):
+        probes = FieldProbes(sp, np.array([[5.0, 0.5, 0.5], [0.5, 0.5, 0.5]]),
+                             strict=False)
+        vals = probes.evaluate(np.ones(sp.shape))
+        assert np.isnan(vals[0])
+        assert vals[1] == pytest.approx(1.0)
+        assert probes.n_found == 1
+
+    def test_shape_check(self, sp):
+        probes = FieldProbes(sp, np.array([[0.5, 0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            probes.evaluate(np.zeros((2, 2)))
+
+
+class TestProbesCylinder:
+    @pytest.fixture(scope="class")
+    def spc(self):
+        return FunctionSpace(cylinder_mesh(diameter=1.0, n_square=2, n_ring=2, n_z=3), 5)
+
+    def test_linear_field_exact_on_curved_elements(self, spc):
+        rng = np.random.default_rng(1)
+        # Random points safely inside the cylinder.
+        r = rng.uniform(0.0, 0.45, 15)
+        th = rng.uniform(0, 2 * np.pi, 15)
+        z = rng.uniform(0.1, 0.9, 15)
+        pts = np.stack([r * np.cos(th), r * np.sin(th), z], axis=1)
+        probes = FieldProbes(spc, pts)
+        f = spc.x + 2 * spc.y + 3 * spc.z
+        vals = probes.evaluate(f)
+        expect = pts[:, 0] + 2 * pts[:, 1] + 3 * pts[:, 2]
+        assert np.allclose(vals, expect, atol=1e-9)
+
+    def test_centerline(self, spc):
+        pts = np.array([[0.0, 0.0, 0.5]])
+        probes = FieldProbes(spc, pts)
+        f = 0.5 - spc.z
+        assert probes.evaluate(f)[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_point_outside_cylinder(self, spc):
+        with pytest.raises(ValueError):
+            FieldProbes(spc, np.array([[0.49, 0.49, 0.5]]))  # corner outside circle

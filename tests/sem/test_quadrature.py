@@ -1,0 +1,138 @@
+"""Tests for GLL/GL quadrature rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sem.quadrature import (
+    gauss_legendre_points_weights,
+    gll_points_weights,
+    legendre_and_derivative,
+    legendre_value,
+)
+
+
+class TestLegendre:
+    def test_p0_is_one(self):
+        x = np.linspace(-1, 1, 7)
+        assert np.allclose(legendre_value(0, x), 1.0)
+
+    def test_p1_is_x(self):
+        x = np.linspace(-1, 1, 7)
+        assert np.allclose(legendre_value(1, x), x)
+
+    def test_p2_closed_form(self):
+        x = np.linspace(-1, 1, 11)
+        assert np.allclose(legendre_value(2, x), 0.5 * (3 * x**2 - 1))
+
+    def test_p5_matches_numpy(self):
+        x = np.linspace(-1, 1, 23)
+        ref = np.polynomial.legendre.legval(x, [0] * 5 + [1])
+        assert np.allclose(legendre_value(5, x), ref, atol=1e-13)
+
+    def test_endpoint_values(self):
+        for n in range(1, 12):
+            assert legendre_value(n, np.array([1.0]))[0] == pytest.approx(1.0)
+            assert legendre_value(n, np.array([-1.0]))[0] == pytest.approx((-1.0) ** n)
+
+    def test_derivative_interior(self):
+        x = np.linspace(-0.9, 0.9, 11)
+        for n in range(1, 9):
+            _, dp = legendre_and_derivative(n, x)
+            h = 1e-6
+            fd = (legendre_value(n, x + h) - legendre_value(n, x - h)) / (2 * h)
+            assert np.allclose(dp, fd, atol=1e-6)
+
+    def test_derivative_at_endpoints(self):
+        for n in range(1, 10):
+            _, dp = legendre_and_derivative(n, np.array([1.0, -1.0]))
+            expect = n * (n + 1) / 2.0
+            assert dp[0] == pytest.approx(expect)
+            assert dp[1] == pytest.approx((-1.0) ** (n - 1) * expect)
+
+
+class TestGLL:
+    def test_minimum_points(self):
+        with pytest.raises(ValueError):
+            gll_points_weights(1)
+
+    def test_two_points(self):
+        x, w = gll_points_weights(2)
+        assert np.allclose(x, [-1, 1])
+        assert np.allclose(w, [1, 1])
+
+    def test_three_points(self):
+        x, w = gll_points_weights(3)
+        assert np.allclose(x, [-1, 0, 1])
+        assert np.allclose(w, [1 / 3, 4 / 3, 1 / 3])
+
+    def test_endpoints_included(self):
+        for lx in range(2, 14):
+            x, _ = gll_points_weights(lx)
+            assert x[0] == -1.0 and x[-1] == 1.0
+
+    def test_points_sorted_distinct(self):
+        for lx in range(2, 14):
+            x, _ = gll_points_weights(lx)
+            assert np.all(np.diff(x) > 0)
+
+    def test_symmetry(self):
+        for lx in range(2, 14):
+            x, w = gll_points_weights(lx)
+            assert np.allclose(x, -x[::-1], atol=1e-15)
+            assert np.allclose(w, w[::-1], atol=1e-15)
+
+    def test_weights_sum_to_two(self):
+        for lx in range(2, 14):
+            _, w = gll_points_weights(lx)
+            assert np.sum(w) == pytest.approx(2.0, abs=1e-13)
+
+    @pytest.mark.parametrize("lx", [3, 5, 8, 12])
+    def test_exactness_degree(self, lx):
+        # GLL with lx points integrates polynomials up to degree 2*lx - 3.
+        x, w = gll_points_weights(lx)
+        for deg in range(2 * lx - 2):
+            exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+            assert np.sum(w * x**deg) == pytest.approx(exact, abs=1e-12), deg
+
+    def test_cache_returns_readonly(self):
+        x, w = gll_points_weights(6)
+        with pytest.raises(ValueError):
+            x[0] = 0.0
+        with pytest.raises(ValueError):
+            w[0] = 0.0
+
+    def test_interior_points_are_roots_of_pn_prime(self):
+        for lx in (4, 7, 10):
+            x, _ = gll_points_weights(lx)
+            _, dp = legendre_and_derivative(lx - 1, x[1:-1])
+            assert np.max(np.abs(dp)) < 1e-10
+
+
+class TestGaussLegendre:
+    def test_minimum(self):
+        with pytest.raises(ValueError):
+            gauss_legendre_points_weights(0)
+
+    @pytest.mark.parametrize("lx", [2, 5, 9])
+    def test_exactness(self, lx):
+        x, w = gauss_legendre_points_weights(lx)
+        for deg in range(2 * lx):
+            exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+            assert np.sum(w * x**deg) == pytest.approx(exact, abs=1e-12)
+
+    def test_strictly_interior(self):
+        x, _ = gauss_legendre_points_weights(8)
+        assert np.all(np.abs(x) < 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lx=st.integers(min_value=2, max_value=12), deg=st.integers(min_value=0, max_value=8))
+def test_gll_integrates_random_degree(lx, deg):
+    """Property: GLL exactness for any monomial within the rule's degree."""
+    if deg > 2 * lx - 3:
+        deg = 2 * lx - 3
+    x, w = gll_points_weights(lx)
+    exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+    assert np.sum(w * x**deg) == pytest.approx(exact, abs=1e-11)

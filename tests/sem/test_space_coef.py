@@ -1,0 +1,106 @@
+"""Tests for the function space, metric factors and mass matrix."""
+
+import numpy as np
+import pytest
+
+from repro.sem.mesh import box_mesh, cylinder_mesh
+from repro.sem.space import FunctionSpace
+
+
+@pytest.fixture(scope="module")
+def box_space():
+    return FunctionSpace(box_mesh((2, 2, 2), lengths=(1.0, 2.0, 3.0)), 5)
+
+
+class TestFunctionSpace:
+    def test_invalid_lx(self):
+        with pytest.raises(ValueError):
+            FunctionSpace(box_mesh((1, 1, 1)), 1)
+
+    def test_shapes(self, box_space):
+        assert box_space.shape == (8, 5, 5, 5)
+        assert box_space.x.shape == box_space.shape
+
+    def test_unique_dof_count_box(self):
+        # Box with (nx,ny,nz) elements of degree N has
+        # (nx*N+1)(ny*N+1)(nz*N+1) unique nodes.
+        sp = FunctionSpace(box_mesh((2, 3, 1)), 4)
+        n = 3
+        assert sp.n_dofs == (2 * n + 1) * (3 * n + 1) * (1 * n + 1)
+
+    def test_volume_box(self, box_space):
+        assert box_space.coef.volume == pytest.approx(6.0, rel=1e-12)
+
+    def test_integrate_polynomial(self, box_space):
+        # int x*y over [0,1]x[0,2]x[0,3] = (1/2)(2)(3) = 3
+        f = box_space.x * box_space.y
+        assert box_space.integrate(f) == pytest.approx(3.0, rel=1e-12)
+
+    def test_mean_constant(self, box_space):
+        assert box_space.mean(np.ones(box_space.shape)) == pytest.approx(1.0)
+
+    def test_norm_l2(self, box_space):
+        # ||1||_L2 = sqrt(V)
+        assert box_space.norm_l2(np.ones(box_space.shape)) == pytest.approx(np.sqrt(6.0))
+
+    def test_mass_assembled_positive(self, box_space):
+        assert np.all(box_space.mass_assembled > 0)
+
+    def test_interpolate(self, box_space):
+        f = box_space.interpolate(lambda x, y, z: 2 * x + z)
+        assert np.allclose(f, 2 * box_space.x + box_space.z)
+
+    def test_project_continuous_idempotent_on_continuous(self, box_space):
+        u = box_space.interpolate(lambda x, y, z: x * y + z**2)
+        v = box_space.project_continuous(u)
+        assert np.allclose(v, u, atol=1e-12)
+
+    def test_project_continuous_makes_continuous(self, box_space):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=box_space.shape)
+        v = box_space.project_continuous(u)
+        # dssum-average is invariant on the projected field.
+        w = box_space.gs.average(v)
+        assert np.allclose(w, v, atol=1e-12)
+
+
+class TestMetricFactors:
+    def test_affine_box_metrics(self):
+        sp = FunctionSpace(box_mesh((1, 1, 1), lengths=(2.0, 4.0, 8.0)), 4)
+        c = sp.coef
+        assert np.allclose(c.dxdr, 1.0)  # dx/dr = Lx/2
+        assert np.allclose(c.dyds, 2.0)
+        assert np.allclose(c.dzdt, 4.0)
+        assert np.allclose(c.dxds, 0.0, atol=1e-14)
+        assert np.allclose(c.jac, 8.0)
+        assert np.allclose(c.drdx, 1.0)
+        assert np.allclose(c.dtdz, 0.25)
+
+    def test_mass_sums_to_volume_cylinder(self):
+        sp = FunctionSpace(cylinder_mesh(diameter=1.0, n_square=3, n_ring=3, n_z=2), 6)
+        exact = np.pi * 0.25
+        assert sp.coef.volume == pytest.approx(exact, rel=5e-4)
+
+    def test_g_factors_symmetric_box(self):
+        sp = FunctionSpace(box_mesh((2, 2, 2)), 4)
+        c = sp.coef
+        # Off-diagonal metric couplings vanish for an axis-aligned box.
+        assert np.allclose(c.g12, 0.0, atol=1e-13)
+        assert np.allclose(c.g13, 0.0, atol=1e-13)
+        assert np.allclose(c.g23, 0.0, atol=1e-13)
+        assert np.all(c.g11 > 0)
+
+    def test_cylinder_metrics_invertible(self):
+        sp = FunctionSpace(cylinder_mesh(n_square=2, n_ring=2, n_z=2), 5)
+        c = sp.coef
+        # Forward and inverse Jacobians multiply to the identity.
+        eye00 = c.dxdr * c.drdx + c.dxds * c.dsdx + c.dxdt * c.dtdx
+        eye01 = c.dxdr * c.drdy + c.dxds * c.dsdy + c.dxdt * c.dtdy
+        assert np.allclose(eye00, 1.0, atol=1e-12)
+        assert np.allclose(eye01, 0.0, atol=1e-12)
+
+    def test_degenerate_mesh_raises(self):
+        m = box_mesh((1, 1, 1))
+        m.corner_coords[0, :, :, 1] = m.corner_coords[0, :, :, 0]  # collapse x
+        with pytest.raises(ValueError, match="Jacobian"):
+            FunctionSpace(m, 3)

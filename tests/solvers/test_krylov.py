@@ -1,0 +1,182 @@
+"""Tests for CG and GMRES against dense references and SEM operators."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConjugateGradient, Gmres, MeanProjector, SolverMonitor
+
+
+def dense_dot(a, b):
+    return float(np.dot(a.reshape(-1), b.reshape(-1)))
+
+
+def make_spd(n, seed=0, cond=100.0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    lam = np.geomspace(1.0, cond, n)
+    return q @ np.diag(lam) @ q.T
+
+
+class TestMonitor:
+    def test_initial_convergence(self):
+        m = SolverMonitor(tol=1e-8)
+        assert m.start(0.0) is True
+        assert m.iterations == 0
+
+    def test_relative_criterion(self):
+        m = SolverMonitor(tol=1e-2)
+        m.start(1.0)
+        assert m.step(0.5) is False
+        assert m.step(0.009) is True
+        assert m.iterations == 2
+
+    def test_summary_format(self):
+        m = SolverMonitor(tol=1e-3, name="p")
+        m.start(1.0)
+        m.step(1e-4)
+        assert "converged" in m.summary()
+        assert "p" in m.summary()
+
+
+class TestCG:
+    def test_identity(self):
+        b = np.ones(10)
+        cg = ConjugateGradient(lambda u: u, dense_dot)
+        x, mon = cg.solve(b)
+        assert np.allclose(x, b)
+        assert mon.converged
+
+    def test_spd_system(self):
+        a = make_spd(40, seed=1)
+        b = np.arange(40, dtype=float)
+        cg = ConjugateGradient(lambda u: a @ u, dense_dot, tol=1e-12, maxiter=200)
+        x, mon = cg.solve(b)
+        assert mon.converged
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_jacobi_preconditioner_reduces_iterations(self):
+        a = make_spd(60, seed=2, cond=1e4)
+        # Scale rows/cols to create wildly varying diagonal.
+        s = np.diag(np.geomspace(1.0, 100.0, 60))
+        a = s @ a @ s
+        b = np.ones(60)
+        inv_diag = 1.0 / np.diag(a)
+        plain = ConjugateGradient(lambda u: a @ u, dense_dot, tol=1e-10, maxiter=2000)
+        prec = ConjugateGradient(
+            lambda u: a @ u, dense_dot, precond=lambda r: inv_diag * r, tol=1e-10, maxiter=2000
+        )
+        _, m1 = plain.solve(b)
+        _, m2 = prec.solve(b)
+        assert m2.converged
+        assert m2.iterations < m1.iterations
+
+    def test_nonzero_initial_guess(self):
+        a = make_spd(20, seed=3)
+        xexact = np.linspace(0, 1, 20)
+        b = a @ xexact
+        cg = ConjugateGradient(lambda u: a @ u, dense_dot, tol=1e-12)
+        x, mon = cg.solve(b, x0=xexact + 1e-3)
+        assert np.allclose(x, xexact, atol=1e-8)
+        assert mon.iterations <= 30
+
+    def test_fixed_iterations_mode(self):
+        a = make_spd(30, seed=4)
+        b = np.ones(30)
+        cg = ConjugateGradient(lambda u: a @ u, dense_dot, fixed_iterations=10)
+        x, mon = cg.solve(b)
+        assert mon.iterations >= 1
+        r = b - a @ x
+        # 10 iterations must reduce the residual substantially.
+        assert np.linalg.norm(r) < 0.5 * np.linalg.norm(b)
+
+    def test_exact_in_n_iterations(self):
+        # CG terminates in at most n iterations in exact arithmetic.
+        a = make_spd(15, seed=5, cond=10.0)
+        b = np.ones(15)
+        cg = ConjugateGradient(lambda u: a @ u, dense_dot, tol=1e-13, maxiter=30)
+        x, mon = cg.solve(b)
+        assert mon.converged
+        assert mon.iterations <= 20
+
+
+class TestGmres:
+    def test_identity(self):
+        b = np.ones(8)
+        g = Gmres(lambda u: u.copy(), dense_dot)
+        x, mon = g.solve(b)
+        assert np.allclose(x, b)
+        assert mon.converged
+
+    def test_nonsymmetric_system(self):
+        rng = np.random.default_rng(6)
+        a = np.eye(30) + 0.3 * rng.normal(size=(30, 30))
+        b = rng.normal(size=30)
+        g = Gmres(lambda u: a @ u, dense_dot, tol=1e-11, maxiter=200, restart=30)
+        x, mon = g.solve(b)
+        assert mon.converged
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_restart_still_converges(self):
+        rng = np.random.default_rng(7)
+        a = np.eye(50) + 0.05 * rng.normal(size=(50, 50))
+        b = rng.normal(size=50)
+        g = Gmres(lambda u: a @ u, dense_dot, tol=1e-10, maxiter=500, restart=7)
+        x, mon = g.solve(b)
+        assert mon.converged
+        assert np.allclose(a @ x, b, atol=1e-7)
+
+    def test_right_preconditioning_exact(self):
+        a = make_spd(25, seed=8, cond=1e5)
+        ainv = np.linalg.inv(a)
+        b = np.ones(25)
+        g = Gmres(lambda u: a @ u, dense_dot, precond=lambda r: ainv @ r, tol=1e-12)
+        x, mon = g.solve(b)
+        assert mon.converged
+        assert mon.iterations <= 3
+
+    def test_singular_consistent_with_projection(self):
+        # A = Laplacian-like singular matrix (constant null space); solve the
+        # projected problem.
+        n = 12
+        a = 2 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+        a[0, 0] = a[-1, -1] = 1.0  # pure Neumann 1-D Laplacian
+        proj = MeanProjector(np.ones(n))
+        rng = np.random.default_rng(9)
+        b = proj(rng.normal(size=n))
+        g = Gmres(lambda u: a @ u, dense_dot, tol=1e-11, project_out=proj, maxiter=100)
+        x, mon = g.solve(b)
+        assert mon.converged
+        assert np.allclose(a @ x, b, atol=1e-8)
+        assert abs(np.mean(x)) < 1e-10
+
+    def test_nonzero_initial_guess(self):
+        rng = np.random.default_rng(10)
+        a = np.eye(20) + 0.1 * rng.normal(size=(20, 20))
+        xe = rng.normal(size=20)
+        b = a @ xe
+        g = Gmres(lambda u: a @ u, dense_dot, tol=1e-12)
+        x, mon = g.solve(b, x0=xe * 0.99)
+        assert np.allclose(x, xe, atol=1e-8)
+
+
+class TestMeanProjector:
+    def test_removes_weighted_mean(self):
+        w = np.array([1.0, 2.0, 1.0])
+        p = MeanProjector(w)
+        u = np.array([1.0, 1.0, 1.0])
+        p(u)
+        assert np.allclose(u, 0.0)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(11)
+        w = rng.uniform(0.5, 2.0, size=50)
+        p = MeanProjector(w)
+        u = rng.normal(size=50)
+        p(u)
+        v = u.copy()
+        p(u)
+        assert np.allclose(u, v)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            MeanProjector(np.zeros(3))
