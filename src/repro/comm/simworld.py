@@ -4,13 +4,26 @@ Collectives operate on lists indexed by rank (the whole world's data is
 resident in one process), which keeps the semantics of buffer-based MPI
 (mpi4py's upper-case methods) while making tests deterministic: sums are
 performed in rank order, so results are reproducible bit-for-bit.
+
+A :class:`~repro.resilience.faults.FaultInjector` can be attached (the
+``fault_injector`` attribute or constructor argument) to exercise the
+recovery paths: point-to-point buffers pass through its ``deliver`` hook
+(drop / corrupt / delayed-stale delivery) and every collective consults
+``on_collective``, which raises
+:class:`~repro.resilience.faults.RankFailedError` for scheduled rank
+deaths.  Traffic statistics count *attempted* traffic -- a dropped
+message was still sent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # avoid a runtime repro.resilience dependency
+    from repro.resilience.faults import FaultInjector
 
 __all__ = ["SimWorld", "TrafficStats"]
 
@@ -36,21 +49,27 @@ class TrafficStats:
 class SimWorld:
     """N simulated ranks; collectives take per-rank data lists."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, fault_injector: "FaultInjector | None" = None) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.stats = TrafficStats()
+        self.fault_injector = fault_injector
 
     def _check(self, per_rank: list) -> None:
         if len(per_rank) != self.size:
             raise ValueError(f"expected {self.size} per-rank entries, got {len(per_rank)}")
+
+    def _collective(self, op: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.on_collective(op)
 
     # -- collectives ----------------------------------------------------------
 
     def allreduce_scalar(self, values: list[float], op: str = "sum") -> float:
         """Allreduce of one scalar per rank; returns the reduced value."""
         self._check(values)
+        self._collective("allreduce_scalar")
         self.stats.allreduce_calls += 1
         self.stats.allreduce_bytes += 8 * self.size
         if op == "sum":
@@ -64,6 +83,7 @@ class SimWorld:
     def allreduce_array(self, arrays: list[np.ndarray], op: str = "sum") -> np.ndarray:
         """Elementwise allreduce of equally-shaped per-rank arrays."""
         self._check(arrays)
+        self._collective("allreduce_array")
         self.stats.allreduce_calls += 1
         self.stats.allreduce_bytes += sum(a.nbytes for a in arrays)
         stack = np.stack(arrays)
@@ -82,6 +102,9 @@ class SimWorld:
 
         ``sends[(src, dst)]`` is the buffer rank ``src`` sends to ``dst``;
         the return maps the same keys to the delivered buffers (copies).
+        With a fault injector attached, the delivered buffer may be
+        zeroed (drop), bit-flipped (corruption) or replaced by the
+        previous buffer sent on that edge (delayed delivery).
         """
         out = {}
         for (src, dst), buf in sends.items():
@@ -90,14 +113,35 @@ class SimWorld:
             if src != dst:
                 self.stats.p2p_messages += 1
                 self.stats.p2p_bytes += buf.nbytes
-            out[(src, dst)] = np.array(buf, copy=True)
+            delivered = buf
+            if self.fault_injector is not None:
+                delivered = self.fault_injector.deliver(src, dst, buf)
+            out[(src, dst)] = np.array(delivered, copy=True)
         return out
 
     def barrier(self) -> None:
+        self._collective("barrier")
         self.stats.barrier_calls += 1
 
     def gather(self, values: list, root: int = 0) -> list:
-        """Gather per-rank values at the root (returns the full list)."""
+        """Gather per-rank values at rank ``root``.
+
+        The whole world lives in one process, so the full list is the
+        root's receive buffer and is returned directly (callers acting as
+        non-root ranks should ignore it, as with MPI's ``Gather``).
+        ``root`` determines the traffic accounting: every rank except the
+        root sends it one message, counted in both messages and bytes.
+        """
         self._check(values)
-        self.stats.p2p_messages += self.size - 1
+        if not 0 <= root < self.size:
+            raise ValueError(f"invalid root rank {root}")
+        self._collective("gather")
+        for rank, value in enumerate(values):
+            if rank == root:
+                continue
+            self.stats.p2p_messages += 1
+            try:
+                self.stats.p2p_bytes += np.asarray(value).nbytes
+            except (TypeError, ValueError):
+                pass  # non-numeric payloads count as messages only
         return list(values)

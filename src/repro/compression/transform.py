@@ -10,23 +10,12 @@ runnable synchronously at simulation time.
 
 from __future__ import annotations
 
-import functools
-
 import numpy as np
 
-from repro.sem.basis import modal_transform_matrix
+from repro.sem.basis import vandermonde_pair as _vandermonde_pair
 from repro.sem.dealias import interp3
 
 __all__ = ["to_modal", "to_nodal", "modal_energy"]
-
-
-@functools.lru_cache(maxsize=None)
-def _vandermonde_pair(lx: int) -> tuple[np.ndarray, np.ndarray]:
-    v = np.asarray(modal_transform_matrix(lx))
-    vinv = np.linalg.inv(v)
-    v.setflags(write=False)
-    vinv.setflags(write=False)
-    return v, vinv
 
 
 def to_modal(u: np.ndarray) -> np.ndarray:

@@ -4,18 +4,40 @@ Snapshots are written as compressed ``.npz`` containers (the stand-in for
 Neko's ``.fld``/ADIOS2 output); checkpoints capture the full multistep
 state so a run restarts bit-for-bit.  The lossy-compressed alternative
 lives in :mod:`repro.compression`.
+
+Checkpoints are production-grade: written atomically (tmp file + rename,
+so a crash mid-write can never leave a half-checkpoint under the final
+name), carry a SHA-256 checksum over the payload arrays, and are verified
+on load -- a truncated or bit-flipped file raises
+:class:`CheckpointCorruptError` *before* any simulation state is mutated.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pathlib
+import zipfile
+from typing import IO, Mapping
 
 import numpy as np
 
 from repro.core.simulation import Simulation
 
-__all__ = ["FieldWriter", "write_checkpoint", "load_checkpoint", "load_snapshot"]
+__all__ = [
+    "FieldWriter",
+    "CheckpointCorruptError",
+    "write_checkpoint",
+    "load_checkpoint",
+    "verify_checkpoint",
+    "checkpoint_digest",
+    "load_snapshot",
+]
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file is unreadable, truncated, or fails its checksum."""
 
 
 class FieldWriter:
@@ -72,11 +94,30 @@ def load_snapshot(path: str | pathlib.Path) -> dict:
     return out
 
 
-def write_checkpoint(sim: Simulation, path: str | pathlib.Path) -> None:
-    """Save the complete multistep state for exact restart."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    arrays = {}
+# -- checkpointing --------------------------------------------------------------
+
+
+def checkpoint_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over the payload entries (names, dtypes, shapes, bytes).
+
+    The ``checksum`` entry itself is excluded, so the digest of a loaded
+    checkpoint can be compared against the stored value.
+    """
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == "checksum":
+            continue
+        a = np.ascontiguousarray(np.asarray(arrays[name]))
+        h.update(name.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _checkpoint_payload(sim: Simulation) -> dict[str, np.ndarray]:
+    """Collect the complete multistep state as an array mapping."""
+    arrays: dict[str, np.ndarray] = {}
     for i in range(3):
         arrays[f"u{i}"] = sim.fluid.u[i]
         arrays[f"v{i}"] = sim.fluid.v[i]
@@ -89,24 +130,95 @@ def write_checkpoint(sim: Simulation, path: str | pathlib.Path) -> None:
     if sim.fluid.pressure_projection is not None:
         arrays.update(sim.fluid.pressure_projection.state_arrays())
     scheme_dts = getattr(sim.scheme, "_dts", [])
-    np.savez_compressed(
-        path,
+    arrays.update(
         pressure=sim.fluid.p,
-        n_fluid_hist=len(sim.fluid.f_hist),
-        n_scalar_hist=len(sim.scalar.f_hist),
-        time=sim.time,
-        dt=sim.dt,
+        n_fluid_hist=np.asarray(len(sim.fluid.f_hist)),
+        n_scalar_hist=np.asarray(len(sim.scalar.f_hist)),
+        time=np.asarray(sim.time),
+        dt=np.asarray(sim.dt),
         last_cfl=np.asarray(sim.last_cfl if sim.last_cfl is not None else [-1.0, -1.0]),
-        step_count=sim.step_count,
-        scheme_steps=sim.scheme.step_count,
+        step_count=np.asarray(sim.step_count),
+        scheme_steps=np.asarray(sim.scheme.step_count),
         scheme_dts=np.asarray(scheme_dts, dtype=np.float64),
-        **arrays,
     )
+    return arrays
 
 
-def load_checkpoint(sim: Simulation, path: str | pathlib.Path) -> None:
-    """Restore a simulation's state from :func:`write_checkpoint` output."""
-    with np.load(path, allow_pickle=False) as data:
+def write_checkpoint(sim: Simulation, path: str | pathlib.Path | IO[bytes]) -> None:
+    """Save the complete multistep state for exact restart.
+
+    File targets are written atomically: the payload goes to a ``.tmp``
+    sibling which is then renamed over the final path, so readers never
+    observe a partially written checkpoint.  A SHA-256 checksum over the
+    payload is stored alongside the arrays and verified by
+    :func:`load_checkpoint`.  ``path`` may also be a writable binary
+    file object (used by the in-memory checkpoint ring).
+    """
+    arrays = _checkpoint_payload(sim)
+    arrays["checksum"] = np.asarray(checkpoint_digest(arrays))
+    if hasattr(path, "write"):
+        np.savez_compressed(path, **arrays)
+        return
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":  # mirror np.savez's implicit suffix
+        path = path.with_name(path.name + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _read_checkpoint(path: str | pathlib.Path | IO[bytes]) -> dict[str, np.ndarray]:
+    """Read and checksum-verify a checkpoint into a plain dict.
+
+    All decompression happens here, before any simulation state is
+    touched; every failure mode (missing file, truncation, bad zip member,
+    checksum mismatch) surfaces as :class:`CheckpointCorruptError`.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            out = {k: np.asarray(data[k]) for k in data.files}
+    except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointCorruptError(f"unreadable checkpoint {path}: {exc}") from exc
+    if "checksum" in out:  # absent only in pre-checksum legacy files
+        stored = str(out["checksum"])
+        actual = checkpoint_digest(out)
+        if stored != actual:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} failed checksum: stored {stored[:12]}..., "
+                f"computed {actual[:12]}..."
+            )
+    return out
+
+
+def verify_checkpoint(path: str | pathlib.Path | IO[bytes]) -> dict:
+    """Validate a checkpoint without touching any simulation.
+
+    Returns a small metadata dict (``step``, ``time``, ``dt``); raises
+    :class:`CheckpointCorruptError` if the file is damaged.
+    """
+    data = _read_checkpoint(path)
+    return {
+        "step": int(data["step_count"]),
+        "time": float(data["time"]),
+        "dt": float(data["dt"]) if "dt" in data else None,
+        "checksum": str(data["checksum"]) if "checksum" in data else None,
+    }
+
+
+def load_checkpoint(sim: Simulation, path: str | pathlib.Path | IO[bytes]) -> None:
+    """Restore a simulation's state from :func:`write_checkpoint` output.
+
+    The file is fully read and checksum-verified *before* the simulation
+    is mutated, so a corrupt checkpoint leaves ``sim`` untouched (and the
+    caller free to fall back to an older ring entry).
+    """
+    data = _read_checkpoint(path)
+    try:
         for i in range(3):
             sim.fluid.u[i][:] = data[f"u{i}"]
             sim.fluid.v[i][:] = data[f"v{i}"]
@@ -120,17 +232,19 @@ def load_checkpoint(sim: Simulation, path: str | pathlib.Path) -> None:
         ]
         ns = int(data["n_scalar_hist"])
         sim.scalar.f_hist = [data[f"ft{i}"].copy() for i in range(ns)]
-        if sim.fluid.pressure_projection is not None:
-            sim.fluid.pressure_projection.load_state(data)
-        sim.time = float(data["time"])
-        sim.step_count = int(data["step_count"])
-        sim.scheme.step_count = int(data["scheme_steps"])
-        if "dt" in data:
-            sim.dt = float(data["dt"])
-            sim.fluid.set_dt(sim.dt)
-            sim.scalar.set_dt(sim.dt)
-        if "last_cfl" in data:
-            cfl, dt_last = (float(v) for v in data["last_cfl"])
-            sim.last_cfl = None if dt_last < 0 else (cfl, dt_last)
-        if hasattr(sim.scheme, "_dts") and "scheme_dts" in data:
-            sim.scheme._dts = [float(v) for v in np.atleast_1d(data["scheme_dts"])]
+    except KeyError as exc:
+        raise CheckpointCorruptError(f"checkpoint {path} missing entry {exc}") from exc
+    if sim.fluid.pressure_projection is not None:
+        sim.fluid.pressure_projection.load_state(data)
+    sim.time = float(data["time"])
+    sim.step_count = int(data["step_count"])
+    sim.scheme.step_count = int(data["scheme_steps"])
+    if "dt" in data:
+        sim.dt = float(data["dt"])
+        sim.fluid.set_dt(sim.dt)
+        sim.scalar.set_dt(sim.dt)
+    if "last_cfl" in data:
+        cfl, dt_last = (float(v) for v in data["last_cfl"])
+        sim.last_cfl = None if dt_last < 0 else (cfl, dt_last)
+    if hasattr(sim.scheme, "_dts") and "scheme_dts" in data:
+        sim.scheme._dts = [float(v) for v in np.atleast_1d(data["scheme_dts"])]

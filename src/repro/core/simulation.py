@@ -197,12 +197,29 @@ class Simulation:
                     f"step {res.step:6d}  t={res.time:.4f}  CFL={res.cfl:.3f}  "
                     f"p-iters={res.pressure_iterations}  KE={res.kinetic_energy:.4e}"
                 )
-            if not np.isfinite(res.kinetic_energy):
+            quantity = self._nonfinite_quantity(res)
+            if quantity is not None:
                 raise FloatingPointError(
-                    f"simulation diverged at step {res.step} (t = {res.time:.4f}); "
-                    f"CFL was {res.cfl:.2f} -- reduce dt"
+                    f"simulation diverged at step {res.step} (t = {res.time:.4f}): "
+                    f"{quantity} is not finite; CFL was {res.cfl:.2f} -- reduce dt"
                 )
         return results
+
+    def _nonfinite_quantity(self, res: StepResult) -> str | None:
+        """Name of the first non-finite monitored quantity, if any.
+
+        Guards the kinetic energy, the divergence norm and the full
+        temperature field: a NaN can enter through the scalar solve alone
+        (buoyancy feeds it back one step later), so checking only the
+        kinetic energy would report the blow-up a step late or not at all.
+        """
+        if not np.isfinite(res.kinetic_energy):
+            return "kinetic energy"
+        if not np.isfinite(res.divergence):
+            return "divergence"
+        if not np.all(np.isfinite(self.scalar.temperature)):
+            return "temperature field"
+        return None
 
     # -- statistics ----------------------------------------------------------------
 

@@ -1,0 +1,50 @@
+"""Resilience: fault injection, checkpoint ring, rollback-and-retry.
+
+The paper's campaign runs for weeks on 16,384 GCDs, where node failures,
+transient network faults and solver blow-ups are routine; Neko survives
+through checkpoint/restart and solver monitoring, and the in-situ path only
+holds up at scale because it degrades gracefully instead of stalling the
+solver.  This package reproduces that operational layer:
+
+* :class:`~repro.resilience.faults.FaultInjector` -- deterministic, seeded
+  fault schedules (message drop/corruption/delay in :class:`SimWorld`
+  traffic, one-shot rank failures, silent-data-corruption bit flips into
+  field arrays) so every recovery path is testable;
+* :class:`~repro.resilience.checkpoint_ring.CheckpointRing` -- a bounded
+  ring of checksummed checkpoints (on-disk or in-memory) with fallback
+  across corrupt entries;
+* :class:`~repro.resilience.health.HealthCheck` -- per-step finite-field
+  scan, CFL ceiling and pressure-iteration streak detection;
+* :class:`~repro.resilience.runner.ResilientRunner` -- wraps
+  :meth:`Simulation.run` in segments: checkpoint, health-check, and on
+  failure roll back to the last good ring entry, optionally reduce ``dt``,
+  back off, and retry within a bounded attempt budget.  Everything that
+  happens is recorded in a structured
+  :class:`~repro.resilience.events.EventLog`.
+"""
+
+from repro.resilience.events import Event, EventLog
+from repro.resilience.faults import Fault, FaultEvent, FaultInjector, RankFailedError
+from repro.resilience.checkpoint_ring import CheckpointRing, RingEntry
+from repro.resilience.health import HealthCheck, HealthIssue
+from repro.resilience.runner import (
+    ResilientResult,
+    ResilientRunner,
+    RetryBudgetExceededError,
+)
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "RankFailedError",
+    "CheckpointRing",
+    "RingEntry",
+    "HealthCheck",
+    "HealthIssue",
+    "ResilientResult",
+    "ResilientRunner",
+    "RetryBudgetExceededError",
+]

@@ -1,0 +1,163 @@
+"""A bounded ring of verified checkpoints with corrupt-entry fallback.
+
+Production runs keep the last few checkpoints, not just the newest: a
+crash during a write, a bad disk block, or an undetected SDC that made it
+into a checkpoint must not end the campaign.  :class:`CheckpointRing`
+holds up to ``capacity`` entries -- on disk (atomic writes via
+:func:`write_checkpoint`) or in memory -- and :meth:`restore_latest`
+walks newest-to-oldest, skipping entries that fail their checksum, until
+one loads cleanly.
+
+The ring is storage-only: it knows how to persist and restore *via the
+injected ``write_fn``/``load_fn``* but holds no opinion on when to
+checkpoint or what to do after a restore -- that is the
+:class:`~repro.resilience.runner.ResilientRunner`'s job (which also makes
+the ring reusable for duck-typed simulation stand-ins in tests).
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.core.output import CheckpointCorruptError, load_checkpoint, write_checkpoint
+
+__all__ = ["CheckpointRing", "RingEntry"]
+
+_STEP_RE = re.compile(r"(\d+)\.npz$")
+
+
+@dataclass
+class RingEntry:
+    """One ring slot: a checkpoint at ``step`` either on disk or in memory."""
+
+    step: int
+    time: float = 0.0
+    path: pathlib.Path | None = None
+    payload: bytes | None = None
+    meta: dict = field(default_factory=dict)
+
+    def source(self):
+        """The object to hand to ``load_fn``: a path or a fresh byte stream."""
+        if self.path is not None:
+            return self.path
+        return io.BytesIO(self.payload)
+
+
+class CheckpointRing:
+    """Bounded ring of checkpoints, newest last.
+
+    Parameters
+    ----------
+    directory:
+        Where to keep checkpoint files; ``None`` keeps the compressed
+        payloads in memory instead (fast, survives rollback but not the
+        process).  An existing directory is rescanned, so a restarted run
+        can restore from the ring a previous process left behind.
+    capacity:
+        Maximum entries retained; the oldest is evicted (and its file
+        deleted) when exceeded.
+    write_fn, load_fn:
+        ``write_fn(sim, target)`` / ``load_fn(sim, source)`` hooks,
+        defaulting to the checksummed
+        :func:`~repro.core.output.write_checkpoint` /
+        :func:`~repro.core.output.load_checkpoint`.  Custom hooks must
+        raise :class:`CheckpointCorruptError` on damaged input for the
+        fallback walk to engage.
+    """
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path | None = None,
+        capacity: int = 3,
+        prefix: str = "ck",
+        write_fn=write_checkpoint,
+        load_fn=load_checkpoint,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.directory = pathlib.Path(directory) if directory is not None else None
+        self.capacity = capacity
+        self.prefix = prefix
+        self.write_fn = write_fn
+        self.load_fn = load_fn
+        self.entries: list[RingEntry] = []
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._rescan()
+
+    def _rescan(self) -> None:
+        """Adopt checkpoint files already present (restart after a crash)."""
+        for path in sorted(self.directory.glob(f"{self.prefix}*.npz")):
+            m = _STEP_RE.search(path.name)
+            if m is not None:
+                self.entries.append(RingEntry(step=int(m.group(1)), path=path))
+        self.entries.sort(key=lambda e: e.step)
+
+    # -- writing ----------------------------------------------------------------
+
+    def save(self, sim, **meta) -> RingEntry:
+        """Checkpoint ``sim`` into the ring, evicting the oldest if full."""
+        step = int(getattr(sim, "step_count", len(self.entries)))
+        time = float(getattr(sim, "time", 0.0))
+        if self.directory is not None:
+            path = self.directory / f"{self.prefix}{step:08d}.npz"
+            self.write_fn(sim, path)
+            entry = RingEntry(step=step, time=time, path=path, meta=meta)
+        else:
+            buf = io.BytesIO()
+            self.write_fn(sim, buf)
+            entry = RingEntry(step=step, time=time, payload=buf.getvalue(), meta=meta)
+        # A re-save at an existing step (e.g. restart baseline) replaces it.
+        self.entries = [e for e in self.entries if e.step != step]
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: e.step)
+        while len(self.entries) > self.capacity:
+            self._evict(self.entries.pop(0))
+        return entry
+
+    @staticmethod
+    def _evict(entry: RingEntry) -> None:
+        if entry.path is not None:
+            entry.path.unlink(missing_ok=True)
+        entry.payload = None
+
+    # -- restoring --------------------------------------------------------------
+
+    def restore_latest(self, sim) -> tuple[RingEntry, list[RingEntry]]:
+        """Restore ``sim`` from the newest loadable entry.
+
+        Walks the ring newest-to-oldest; entries raising
+        :class:`CheckpointCorruptError` are skipped (and returned so the
+        caller can log them).  Raises ``CheckpointCorruptError`` if no
+        entry is valid.
+        """
+        skipped: list[RingEntry] = []
+        loaded: RingEntry | None = None
+        for entry in reversed(self.entries):
+            try:
+                self.load_fn(sim, entry.source())
+            except CheckpointCorruptError:
+                skipped.append(entry)
+                continue
+            loaded = entry
+            break
+        # Corrupt entries are evicted (file deleted): they cannot serve a
+        # future restore and must not masquerade as the newest checkpoint.
+        for bad in skipped:
+            self.entries.remove(bad)
+            self._evict(bad)
+        if loaded is None:
+            raise CheckpointCorruptError(
+                f"no valid checkpoint among {len(self.entries) + len(skipped)} ring entries"
+            )
+        return loaded, skipped
+
+    @property
+    def latest(self) -> RingEntry | None:
+        return self.entries[-1] if self.entries else None
+
+    def __len__(self) -> int:
+        return len(self.entries)

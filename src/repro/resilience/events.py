@@ -1,0 +1,67 @@
+"""Structured event log of faults, rollbacks and recoveries.
+
+Production campaigns live or die by their operational record: which step
+diverged, which checkpoint was corrupt, how many retries a run needed.
+:class:`EventLog` is the single structured stream all resilience
+components append to; the :class:`ResilientRunner` returns it alongside
+the step results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass
+class Event:
+    """One entry in the resilience log.
+
+    ``kind`` is a short tag: ``"fault"``, ``"rollback"``, ``"retry"``,
+    ``"checkpoint"``, ``"corrupt_checkpoint"``, ``"quarantine"``,
+    ``"recovery"``, ...  ``step``/``time`` locate it in the simulation;
+    ``data`` carries kind-specific payload (offending quantity, dt before
+    and after, fallback checkpoint step, ...).
+    """
+
+    kind: str
+    step: int = -1
+    time: float = 0.0
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only list of :class:`Event` with small query helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def record(
+        self, kind: str, step: int = -1, time: float = 0.0, detail: str = "", **data
+    ) -> Event:
+        ev = Event(kind=kind, step=step, time=time, detail=detail, data=data)
+        self.events.append(ev)
+        return ev
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def summary(self) -> str:
+        """Human-readable transcript, one line per event."""
+        lines = []
+        for e in self.events:
+            loc = f"step {e.step}" if e.step >= 0 else ""
+            extra = f" {e.data}" if e.data else ""
+            lines.append(f"[{e.kind}] {loc} {e.detail}{extra}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Deterministic fault injection for testing recovery paths.
+
+Every failure mode the resilience layer claims to survive must be
+producible on demand, bit-for-bit reproducibly.  A :class:`FaultInjector`
+carries a seeded RNG plus an explicit :class:`Fault` schedule and exposes
+three hook surfaces:
+
+* **message faults** -- :meth:`deliver` is called by
+  :meth:`SimWorld.exchange` for every point-to-point buffer and may drop
+  it (zeros delivered), corrupt it (seeded bit flip in one element) or
+  delay it (the *previous* buffer sent on that edge is delivered instead);
+* **rank failures** -- :meth:`on_collective` is called at the top of every
+  :class:`SimWorld` collective and raises :class:`RankFailedError` when a
+  scheduled one-shot failure fires (modelling a failed-then-respawned
+  rank, as in shrink/recover MPI practice);
+* **silent data corruption** -- :meth:`apply_field_faults` flips bits (or
+  plants NaN / huge values) directly into a simulation's field arrays at
+  scheduled step numbers, the classic SDC scenario.
+
+Scheduled faults fire exactly once, so a rollback that replays the same
+steps does not re-trigger them -- the transient-fault model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Fault", "FaultEvent", "FaultInjector", "RankFailedError"]
+
+
+class RankFailedError(RuntimeError):
+    """A simulated rank died during a collective."""
+
+    def __init__(self, rank: int, op: str = "") -> None:
+        self.rank = rank
+        self.op = op
+        super().__init__(f"rank {rank} failed during {op or 'collective'}")
+
+
+@dataclass
+class Fault:
+    """One scheduled fault.
+
+    ``kind`` selects the mechanism and which trigger field applies:
+
+    ========== ============ =========================================
+    kind        trigger      effect
+    ========== ============ =========================================
+    drop        at_call      p2p message ``at_call`` delivers zeros
+    corrupt     at_call      p2p message ``at_call`` gets a bit flip
+    delay       at_call      p2p message ``at_call`` delivers stale data
+    rank_failure at_call     collective ``at_call`` raises RankFailedError
+    sdc         at_step      field ``target`` corrupted once step >= at_step
+    ========== ============ =========================================
+
+    ``at_call`` indexes the injector's own per-surface call counters
+    (p2p messages for drop/corrupt/delay, collectives for rank_failure).
+    ``mode`` applies to sdc: ``"bitflip"`` (seeded XOR of one bit in one
+    element), ``"nan"`` or ``"huge"``.
+    """
+
+    kind: str
+    at_call: int | None = None
+    at_step: int | None = None
+    target: str = "temperature"
+    rank: int = 0
+    mode: str = "bitflip"
+
+
+@dataclass
+class FaultEvent:
+    """Record of one fault that actually fired."""
+
+    kind: str
+    index: int
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Seeded fault source; hooks into :class:`SimWorld` and the runner.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the RNG used for probabilistic faults, corrupted-element
+        choice and bit positions; identical seeds and call sequences give
+        identical faults.
+    schedule:
+        Explicit :class:`Fault` list; each entry fires at most once.
+    drop_rate, corrupt_rate, delay_rate:
+        Optional per-message probabilities for random message faults on
+        top of the explicit schedule.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        schedule: list[Fault] | tuple[Fault, ...] = (),
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        delay_rate: float = 0.0,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.schedule = list(schedule)
+        self.drop_rate = drop_rate
+        self.corrupt_rate = corrupt_rate
+        self.delay_rate = delay_rate
+        self.events: list[FaultEvent] = []
+        self._fired: set[int] = set()
+        self._p2p_calls = 0
+        self._collective_calls = 0
+        # Last buffer seen per (src, dst) edge, for stale ("delayed") delivery.
+        self._last_sent: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- schedule matching -----------------------------------------------------
+
+    def _take_scheduled(
+        self, kinds: tuple[str, ...], *, at_call: int | None = None, at_step: int | None = None
+    ) -> Fault | None:
+        """Pop (mark fired) the first pending schedule entry that matches."""
+        for i, f in enumerate(self.schedule):
+            if i in self._fired or f.kind not in kinds:
+                continue
+            if at_call is not None and f.at_call == at_call:
+                self._fired.add(i)
+                return f
+            if at_step is not None and f.at_step is not None and at_step >= f.at_step:
+                self._fired.add(i)
+                return f
+        return None
+
+    def _record(self, kind: str, index: int, detail: str = "", **data) -> FaultEvent:
+        ev = FaultEvent(kind=kind, index=index, detail=detail, data=data)
+        self.events.append(ev)
+        return ev
+
+    # -- collective hook (SimWorld.allreduce_* / barrier / gather) -------------
+
+    def on_collective(self, op: str) -> None:
+        """Raise :class:`RankFailedError` if a scheduled rank failure fires."""
+        idx = self._collective_calls
+        self._collective_calls += 1
+        f = self._take_scheduled(("rank_failure",), at_call=idx)
+        if f is not None:
+            self._record("rank_failure", idx, f"rank {f.rank} died in {op}", rank=f.rank, op=op)
+            raise RankFailedError(f.rank, op)
+
+    # -- point-to-point hook (SimWorld.exchange) -------------------------------
+
+    def deliver(self, src: int, dst: int, buf: np.ndarray) -> np.ndarray:
+        """Return the buffer actually delivered for message ``src -> dst``."""
+        idx = self._p2p_calls
+        self._p2p_calls += 1
+        edge = (src, dst)
+        stale = self._last_sent.get(edge)
+        self._last_sent[edge] = np.array(buf, copy=True)
+
+        f = self._take_scheduled(("drop", "corrupt", "delay"), at_call=idx)
+        kind = f.kind if f is not None else self._random_message_fault()
+        if kind == "drop":
+            self._record("drop", idx, f"message {src}->{dst} dropped", src=src, dst=dst)
+            return np.zeros_like(buf)
+        if kind == "corrupt":
+            out = np.array(buf, copy=True)
+            detail = self._flip_bit(out)
+            self._record("corrupt", idx, f"message {src}->{dst} corrupted", src=src, dst=dst, **detail)
+            return out
+        if kind == "delay":
+            self._record("delay", idx, f"message {src}->{dst} delayed (stale data)", src=src, dst=dst)
+            return np.zeros_like(buf) if stale is None else stale
+        return buf
+
+    def _random_message_fault(self) -> str | None:
+        if not (self.drop_rate or self.corrupt_rate or self.delay_rate):
+            return None
+        u = float(self.rng.uniform())
+        if u < self.drop_rate:
+            return "drop"
+        if u < self.drop_rate + self.corrupt_rate:
+            return "corrupt"
+        if u < self.drop_rate + self.corrupt_rate + self.delay_rate:
+            return "delay"
+        return None
+
+    # -- silent data corruption ------------------------------------------------
+
+    def _flip_bit(self, array: np.ndarray, mode: str = "bitflip") -> dict:
+        """Corrupt one element of ``array`` in place; returns a detail dict."""
+        flat = array.reshape(-1)
+        idx = int(self.rng.integers(flat.size))
+        old = float(flat[idx])
+        if mode == "nan":
+            flat[idx] = np.nan
+        elif mode == "huge":
+            flat[idx] = np.copysign(1.0e300, old if old != 0 else 1.0)
+        else:
+            # Flip one of the top exponent bits so the corruption is
+            # catastrophic (scale changed by >= 2^16, possibly inf/nan)
+            # rather than a rounding blip.
+            bit = int(self.rng.integers(56, 63))
+            view = flat[idx : idx + 1].view(np.uint64)
+            view[0] ^= np.uint64(1) << np.uint64(bit)
+        return {"element": idx, "mode": mode, "old": old, "new": float(flat[idx])}
+
+    def corrupt_array(self, array: np.ndarray, mode: str = "bitflip") -> dict:
+        """Public SDC entry point: corrupt one seeded element in place."""
+        detail = self._flip_bit(array, mode=mode)
+        self._record("sdc", int(detail["element"]), f"array corrupted ({mode})", **detail)
+        return detail
+
+    def apply_field_faults(self, sim) -> list[FaultEvent]:
+        """Fire pending ``sdc`` schedule entries whose ``at_step`` has passed.
+
+        Called by the :class:`ResilientRunner` between run segments; each
+        entry fires once, so replay after rollback is fault-free.
+        """
+        fired: list[FaultEvent] = []
+        while True:
+            f = self._take_scheduled(("sdc",), at_step=sim.step_count)
+            if f is None:
+                return fired
+            arr = self._target_array(sim, f.target)
+            detail = self._flip_bit(arr, mode=f.mode)
+            fired.append(
+                self._record(
+                    "sdc",
+                    sim.step_count,
+                    f"SDC in {f.target} at step {sim.step_count}",
+                    target=f.target,
+                    **detail,
+                )
+            )
+
+    @staticmethod
+    def _target_array(sim, target: str) -> np.ndarray:
+        if target == "temperature":
+            return sim.scalar.temperature
+        if target == "pressure":
+            return sim.fluid.p
+        if target in ("ux", "uy", "uz"):
+            return {"ux": sim.fluid.u, "uy": sim.fluid.v, "uz": sim.fluid.w}[target][0]
+        raise ValueError(f"unknown SDC target {target!r}")

@@ -20,6 +20,7 @@ __all__ = [
     "lagrange_interpolation_matrix",
     "derivative_matrix",
     "modal_transform_matrix",
+    "vandermonde_pair",
     "lagrange_weights",
 ]
 
@@ -99,3 +100,19 @@ def modal_transform_matrix(lx: int) -> np.ndarray:
         v[:, j] = legendre_value(j, x) * np.sqrt((2 * j + 1) / 2.0)
     v.setflags(write=False)
     return v
+
+
+@functools.lru_cache(maxsize=None)
+def vandermonde_pair(lx: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(V, V^{-1})`` for :func:`modal_transform_matrix`, cached per order.
+
+    ``V`` maps modal coefficients to nodal values and ``V^{-1}`` is its
+    exact inverse (see :func:`modal_transform_matrix` for why the exact
+    inverse is used); both are frozen read-only since they are shared
+    through the cache.
+    """
+    v = np.asarray(modal_transform_matrix(lx))
+    vinv = np.linalg.inv(v)
+    v.setflags(write=False)
+    vinv.setflags(write=False)
+    return v, vinv

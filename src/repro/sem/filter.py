@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.transform import _vandermonde_pair
+from repro.sem.basis import vandermonde_pair as _vandermonde_pair
 from repro.sem.dealias import interp3
 
 __all__ = ["ModalFilter"]

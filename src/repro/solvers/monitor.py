@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SolverMonitor"]
+__all__ = ["SolverMonitor", "IterationStreakTracker"]
 
 
 @dataclass
@@ -56,3 +56,33 @@ class SolverMonitor:
             f"{self.name or 'solve'}: {status} in {self.iterations} iters, "
             f"||r|| {self.initial_residual:.3e} -> {self.final_residual:.3e}"
         )
+
+
+@dataclass
+class IterationStreakTracker:
+    """Detects sustained solver distress across consecutive solves.
+
+    One bad solve is noise; ``streak`` consecutive solves that either hit
+    the iteration ceiling ``limit`` or fail to converge signal a run
+    heading for divergence -- the pattern production monitoring watches in
+    the pressure solve.  Feed it :class:`SolverMonitor` instances (or raw
+    iteration counts) with :meth:`observe`; it returns ``True`` once the
+    streak is reached.
+    """
+
+    limit: int
+    streak: int = 3
+    count: int = 0
+
+    def observe(self, solve, converged: bool = True) -> bool:
+        """Record one solve; returns True when the distress streak trips."""
+        if isinstance(solve, SolverMonitor):
+            iterations, converged = solve.iterations, solve.converged
+        else:
+            iterations = int(solve)
+        struggling = (not converged) or iterations >= self.limit
+        self.count = self.count + 1 if struggling else 0
+        return self.count >= self.streak
+
+    def reset(self) -> None:
+        self.count = 0

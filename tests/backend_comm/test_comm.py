@@ -52,6 +52,20 @@ class TestSimWorld:
         buf[:] = 5.0
         assert np.allclose(out[(0, 1)], 1.0)
 
+    def test_gather_counts_traffic_toward_root(self):
+        w = SimWorld(4)
+        vals = [np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3)]
+        out = w.gather(vals, root=2)
+        assert all(np.array_equal(a, b) for a, b in zip(out, vals))
+        # Every rank except the root sends it one 24-byte message.
+        assert w.stats.p2p_messages == 3
+        assert w.stats.p2p_bytes == 3 * 24
+
+    def test_gather_invalid_root_raises(self):
+        w = SimWorld(2)
+        with pytest.raises(ValueError):
+            w.gather([1.0, 2.0], root=2)
+
 
 class TestPartition:
     def test_linear_balance(self):

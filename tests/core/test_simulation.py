@@ -164,3 +164,27 @@ class TestOutputCheckpoint:
     def test_run_requires_termination_criterion(self, small_sim):
         with pytest.raises(ValueError):
             small_sim.run()
+
+
+class TestDivergenceGuard:
+    def test_nan_temperature_aborts_with_named_quantity(self):
+        cfg = rbc_box_case(2e4, n=(2, 2, 2), lx=4, aspect=2.0, dt=1e-2)
+        sim = Simulation(cfg)
+        sim.run(n_steps=2)
+        sim.scalar.temperature[0, 0, 0, 0] = np.nan  # poisons the buoyancy
+        with pytest.raises(FloatingPointError, match="diverged"):
+            sim.run(n_steps=3)
+
+    def test_guard_names_each_quantity(self):
+        cfg = rbc_box_case(2e4, n=(2, 2, 2), lx=4, aspect=2.0, dt=1e-2)
+        sim = Simulation(cfg)
+        sim.run(n_steps=1)
+        res = sim.history[-1]
+        assert sim._nonfinite_quantity(res) is None
+        sim.scalar.temperature[0, 0, 0, 0] = np.inf
+        assert sim._nonfinite_quantity(res) == "temperature field"
+        sim.scalar.temperature[0, 0, 0, 0] = 0.0
+        bad = type(res)(**{**res.__dict__, "divergence": np.nan})
+        assert sim._nonfinite_quantity(bad) == "divergence"
+        bad = type(res)(**{**res.__dict__, "kinetic_energy": np.inf})
+        assert sim._nonfinite_quantity(bad) == "kinetic energy"

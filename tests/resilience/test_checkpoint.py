@@ -1,0 +1,178 @@
+"""Checkpoint integrity, the bounded ring, and kill-and-restart recovery."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointCorruptError,
+    Simulation,
+    load_checkpoint,
+    rbc_box_case,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience import CheckpointRing
+
+
+def small_case(**overrides):
+    kwargs = dict(n=(2, 2, 2), lx=4, aspect=2.0, dt=5e-3,
+                  perturbation_amplitude=0.1, adaptive_cfl=0.3)
+    kwargs.update(overrides)
+    return rbc_box_case(2e4, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def warm_sim():
+    sim = Simulation(small_case())
+    sim.run(n_steps=5)
+    return sim
+
+
+class TestCheckpointIntegrity:
+    def test_write_is_atomic_no_tmp_left(self, warm_sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        write_checkpoint(warm_sim, path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_verify_reports_metadata(self, warm_sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        write_checkpoint(warm_sim, path)
+        meta = verify_checkpoint(path)
+        assert meta["step"] == warm_sim.step_count
+        assert meta["time"] == pytest.approx(warm_sim.time)
+        assert meta["checksum"] is not None
+
+    def test_truncated_file_detected(self, warm_sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        write_checkpoint(warm_sim, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            verify_checkpoint(path)
+        sim2 = Simulation(small_case())
+        before = sim2.temperature.copy()
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(sim2, path)
+        # A failed load leaves the simulation untouched.
+        assert np.array_equal(sim2.temperature, before)
+        assert sim2.step_count == 0
+
+    def test_tampered_payload_fails_checksum(self, warm_sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        write_checkpoint(warm_sim, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: np.asarray(data[k]).copy() for k in data.files}
+        arrays["pressure"].flat[0] += 1.0  # silent corruption, stale checksum
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            verify_checkpoint(path)
+
+    def test_missing_file_raises_corrupt_error(self, tmp_path):
+        with pytest.raises(CheckpointCorruptError):
+            verify_checkpoint(tmp_path / "nope.npz")
+
+    def test_roundtrip_via_file_object(self, warm_sim):
+        buf = io.BytesIO()
+        write_checkpoint(warm_sim, buf)
+        buf.seek(0)
+        sim2 = Simulation(small_case())
+        load_checkpoint(sim2, buf)
+        assert sim2.step_count == warm_sim.step_count
+        assert np.array_equal(sim2.temperature, warm_sim.temperature)
+
+    def test_legacy_checkpoint_without_checksum_loads(self, warm_sim, tmp_path):
+        from repro.core.output import _checkpoint_payload
+
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **_checkpoint_payload(warm_sim))
+        sim2 = Simulation(small_case())
+        load_checkpoint(sim2, path)
+        assert sim2.step_count == warm_sim.step_count
+
+
+class TestCheckpointRing:
+    def test_capacity_eviction(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=2)
+        sim = Simulation(small_case())
+        for _ in range(4):
+            sim.run(n_steps=1)
+            ring.save(sim)
+        assert len(ring) == 2
+        assert [e.step for e in ring.entries] == [3, 4]
+        assert len(list(tmp_path.glob("ck*.npz"))) == 2
+
+    def test_in_memory_ring_roundtrip(self):
+        ring = CheckpointRing(capacity=3)
+        sim = Simulation(small_case())
+        sim.run(n_steps=3)
+        ring.save(sim)
+        ref = sim.temperature.copy()
+        sim.run(n_steps=2)
+        entry, skipped = ring.restore_latest(sim)
+        assert entry.step == 3 and skipped == []
+        assert np.array_equal(sim.temperature, ref)
+        assert sim.step_count == 3
+
+    def test_fallback_skips_truncated_newest(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=3)
+        sim = Simulation(small_case())
+        sim.run(n_steps=2)
+        ring.save(sim)
+        sim.run(n_steps=2)
+        newest = ring.save(sim)
+        raw = newest.path.read_bytes()
+        newest.path.write_bytes(raw[: len(raw) // 3])
+        entry, skipped = ring.restore_latest(sim)
+        assert entry.step == 2
+        assert [e.step for e in skipped] == [4]
+        # The corrupt entry is evicted from ring and disk.
+        assert not newest.path.exists()
+        assert [e.step for e in ring.entries] == [2]
+
+    def test_all_corrupt_raises(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=2)
+        sim = Simulation(small_case())
+        sim.run(n_steps=1)
+        entry = ring.save(sim)
+        entry.path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointCorruptError):
+            ring.restore_latest(sim)
+
+    def test_rescan_adopts_existing_files(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=3)
+        sim = Simulation(small_case())
+        sim.run(n_steps=2)
+        ring.save(sim)
+        sim.run(n_steps=2)
+        ring.save(sim)
+        # A fresh process building a ring over the same directory sees both.
+        ring2 = CheckpointRing(tmp_path, capacity=3)
+        assert [e.step for e in ring2.entries] == [2, 4]
+
+
+class TestAdaptiveDtRestart:
+    """Restart mid-run must reproduce the adaptive dt sequence bit-for-bit."""
+
+    def test_dt_sequence_reproduced_exactly(self, tmp_path):
+        sim1 = Simulation(small_case())
+        sim1.run(n_steps=8)
+        write_checkpoint(sim1, tmp_path / "mid.npz")
+        sim1.run(n_steps=7)
+        ref_tail = sim1.history[8:]
+
+        sim2 = Simulation(small_case())
+        load_checkpoint(sim2, tmp_path / "mid.npz")
+        results = sim2.run(n_steps=7)
+        assert [r.dt for r in results] == [r.dt for r in ref_tail]
+        assert [r.time for r in results] == [r.time for r in ref_tail]
+        assert [r.kinetic_energy for r in results] == [
+            r.kinetic_energy for r in ref_tail
+        ]
+        assert np.array_equal(sim2.temperature, sim1.temperature)
+        ux1, _, _ = sim1.velocity
+        ux2, _, _ = sim2.velocity
+        assert np.array_equal(ux1, ux2)

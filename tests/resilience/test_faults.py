@@ -1,0 +1,149 @@
+"""Tests for deterministic fault injection into SimWorld and field arrays."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimWorld
+from repro.resilience import Fault, FaultInjector, RankFailedError
+
+
+class TestMessageFaults:
+    def test_scheduled_drop_delivers_zeros(self):
+        inj = FaultInjector(schedule=[Fault("drop", at_call=1)])
+        w = SimWorld(2, fault_injector=inj)
+        out = w.exchange({(0, 1): np.ones(3)})  # call 0: clean
+        assert np.allclose(out[(0, 1)], 1.0)
+        out = w.exchange({(0, 1): np.full(3, 7.0)})  # call 1: dropped
+        assert np.allclose(out[(0, 1)], 0.0)
+        assert [e.kind for e in inj.events] == ["drop"]
+        # Traffic stats count the attempted send.
+        assert w.stats.p2p_messages == 2
+
+    def test_scheduled_corrupt_changes_buffer(self):
+        inj = FaultInjector(seed=3, schedule=[Fault("corrupt", at_call=0)])
+        w = SimWorld(2, fault_injector=inj)
+        sent = np.ones(8)
+        out = w.exchange({(0, 1): sent})
+        assert not np.array_equal(out[(0, 1)], sent)
+        assert np.array_equal(sent, np.ones(8))  # original untouched
+        ev = inj.events[0]
+        assert ev.kind == "corrupt"
+        assert ev.data["src"] == 0 and ev.data["dst"] == 1
+
+    def test_scheduled_delay_delivers_stale(self):
+        inj = FaultInjector(schedule=[Fault("delay", at_call=1)])
+        w = SimWorld(2, fault_injector=inj)
+        w.exchange({(0, 1): np.full(2, 1.0)})
+        out = w.exchange({(0, 1): np.full(2, 2.0)})  # delayed: previous buffer
+        assert np.allclose(out[(0, 1)], 1.0)
+        out = w.exchange({(0, 1): np.full(2, 3.0)})  # back to normal
+        assert np.allclose(out[(0, 1)], 3.0)
+
+    def test_delay_with_no_history_delivers_zeros(self):
+        inj = FaultInjector(schedule=[Fault("delay", at_call=0)])
+        w = SimWorld(2, fault_injector=inj)
+        out = w.exchange({(0, 1): np.full(2, 9.0)})
+        assert np.allclose(out[(0, 1)], 0.0)
+
+    def test_random_faults_are_seed_deterministic(self):
+        def run(seed):
+            inj = FaultInjector(seed=seed, drop_rate=0.3, corrupt_rate=0.2)
+            w = SimWorld(2, fault_injector=inj)
+            for i in range(50):
+                w.exchange({(0, 1): np.full(4, float(i + 1))})
+            return [(e.kind, e.index) for e in inj.events]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert len(run(7)) > 0
+
+
+class TestRankFailure:
+    def test_scheduled_collective_failure(self):
+        inj = FaultInjector(schedule=[Fault("rank_failure", at_call=2, rank=1)])
+        w = SimWorld(3, fault_injector=inj)
+        vals = [1.0, 2.0, 3.0]
+        assert w.allreduce_scalar(vals) == 6.0  # call 0
+        w.barrier()  # call 1
+        with pytest.raises(RankFailedError) as exc_info:
+            w.allreduce_scalar(vals)  # call 2
+        assert exc_info.value.rank == 1
+
+    def test_rank_failure_is_one_shot(self):
+        inj = FaultInjector(schedule=[Fault("rank_failure", at_call=0)])
+        w = SimWorld(2, fault_injector=inj)
+        with pytest.raises(RankFailedError):
+            w.allreduce_scalar([1.0, 2.0])
+        # The respawned rank participates normally afterwards.
+        assert w.allreduce_scalar([1.0, 2.0]) == 3.0
+
+    def test_gather_checks_for_failures(self):
+        inj = FaultInjector(schedule=[Fault("rank_failure", at_call=0)])
+        w = SimWorld(2, fault_injector=inj)
+        with pytest.raises(RankFailedError):
+            w.gather([1.0, 2.0])
+
+
+class TestSDC:
+    def test_corrupt_array_bitflip_is_catastrophic(self):
+        inj = FaultInjector(seed=1)
+        a = np.ones(100)
+        detail = inj.corrupt_array(a)
+        assert np.count_nonzero(a != 1.0) == 1
+        bad = a[a != 1.0][0]
+        # Top exponent bits flipped: the value is absurd, not a blip.
+        assert not np.isfinite(bad) or abs(bad) > 1e4 or abs(bad) < 1e-4
+        assert detail["element"] == int(np.flatnonzero(a != 1.0)[0])
+
+    def test_corrupt_array_nan_mode(self):
+        inj = FaultInjector(seed=2)
+        a = np.ones(10)
+        inj.corrupt_array(a, mode="nan")
+        assert np.count_nonzero(np.isnan(a)) == 1
+
+    def test_corruption_is_seed_deterministic(self):
+        a1, a2 = np.ones(50), np.ones(50)
+        FaultInjector(seed=9).corrupt_array(a1)
+        FaultInjector(seed=9).corrupt_array(a2)
+        assert np.array_equal(a1, a2, equal_nan=True)
+
+    def test_apply_field_faults_fires_once(self):
+        class FakeScalar:
+            temperature = np.ones(20)
+
+        class FakeSim:
+            step_count = 5
+            scalar = FakeScalar()
+
+        sim = FakeSim()
+        inj = FaultInjector(seed=0, schedule=[Fault("sdc", at_step=4, mode="nan")])
+        fired = inj.apply_field_faults(sim)
+        assert len(fired) == 1
+        assert np.count_nonzero(np.isnan(sim.scalar.temperature)) == 1
+        # Replay after rollback: the transient fault does not re-fire.
+        sim.scalar.temperature[:] = 1.0
+        assert inj.apply_field_faults(sim) == []
+        assert not np.any(np.isnan(sim.scalar.temperature))
+
+    def test_field_fault_waits_for_step(self):
+        class FakeScalar:
+            temperature = np.ones(20)
+
+        class FakeSim:
+            step_count = 2
+            scalar = FakeScalar()
+
+        sim = FakeSim()
+        inj = FaultInjector(schedule=[Fault("sdc", at_step=10, mode="nan")])
+        assert inj.apply_field_faults(sim) == []
+        sim.step_count = 10
+        assert len(inj.apply_field_faults(sim)) == 1
+
+    def test_unknown_target_raises(self):
+        inj = FaultInjector(schedule=[Fault("sdc", at_step=0, target="vorticity")])
+
+        class FakeSim:
+            step_count = 1
+
+        with pytest.raises(ValueError, match="unknown SDC target"):
+            inj.apply_field_faults(FakeSim())

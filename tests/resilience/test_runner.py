@@ -1,0 +1,380 @@
+"""Rollback-and-retry runner: unit tests on a stand-in simulation plus the
+end-to-end acceptance scenarios (seeded fault recovery, kill-and-restart)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import Simulation, rbc_box_case
+from repro.core.output import _read_checkpoint, checkpoint_digest
+from repro.insitu import InSituPipeline, Processor
+from repro.resilience import (
+    CheckpointRing,
+    Fault,
+    FaultInjector,
+    HealthCheck,
+    RankFailedError,
+    ResilientRunner,
+    RetryBudgetExceededError,
+)
+
+# -- a minimal duck-typed simulation ------------------------------------------
+
+
+class FakeSim:
+    """Tiny checkpointable stand-in exposing the runner's interface.
+
+    ``fail_if(sim)`` is consulted every step; returning an exception class
+    makes the step raise it (once per step index, like a real transient).
+    """
+
+    def __init__(self, dt=0.1, fail_if=None):
+        self.step_count = 0
+        self.time = 0.0
+        self.dt = dt
+        self.history = []
+        self.stat_samples = []
+        self.adaptive = False
+        self.config = SimpleNamespace(dt_min=1e-4, dt_max=1.0, adaptive_cfl=None)
+        self.fluid = SimpleNamespace(set_dt=lambda dt: None)
+        self.scalar = SimpleNamespace(set_dt=lambda dt: None)
+        self.state = np.zeros(4)
+        self.fail_if = fail_if or (lambda sim: None)
+
+    # Health-check surface.
+    @property
+    def velocity(self):
+        return (self.state, self.state, self.state)
+
+    @property
+    def temperature(self):
+        return self.state
+
+    @property
+    def pressure(self):
+        return self.state
+
+    def run(self, n_steps=None, end_time=None, **kw):
+        for _ in range(n_steps):
+            if end_time is not None and self.time >= end_time - 1e-12:
+                return
+            exc = self.fail_if(self)
+            if exc is not None:
+                raise exc
+            self.step_count += 1
+            self.time += self.dt
+            self.state = self.state + self.dt
+            self.history.append(
+                SimpleNamespace(
+                    step=self.step_count,
+                    time=self.time,
+                    dt=self.dt,
+                    cfl=0.1,
+                    pressure_iterations=2,
+                    kinetic_energy=1.0,
+                    divergence=1e-8,
+                )
+            )
+
+
+def fake_write(sim, target):
+    arrays = {
+        "state": sim.state,
+        "step_count": np.asarray(sim.step_count),
+        "time": np.asarray(sim.time),
+        "dt": np.asarray(sim.dt),
+    }
+    arrays["checksum"] = np.asarray(checkpoint_digest(arrays))
+    if hasattr(target, "write"):
+        np.savez_compressed(target, **arrays)
+    else:
+        np.savez_compressed(open(target, "wb"), **arrays)
+
+
+def fake_load(sim, source):
+    data = _read_checkpoint(source)
+    sim.state = data["state"].copy()
+    sim.step_count = int(data["step_count"])
+    sim.time = float(data["time"])
+    sim.dt = float(data["dt"])
+
+
+def fake_ring(**kw):
+    return CheckpointRing(write_fn=fake_write, load_fn=fake_load, **kw)
+
+
+class TestRunnerUnit:
+    def test_clean_run_checkpoints_and_no_retries(self):
+        sim = FakeSim()
+        runner = ResilientRunner(sim, ring=fake_ring(), checkpoint_interval=5)
+        result = runner.run(n_steps=20)
+        assert sim.step_count == 20
+        assert result.retries == 0
+        assert result.checkpoints == 4
+        assert len(result.results) == 20
+        assert result.events.count("rollback") == 0
+
+    def test_divergence_rolls_back_and_reduces_dt(self):
+        def fail(sim):
+            # Diverges stepping past step 10 until dt has been halved.
+            if sim.step_count >= 10 and sim.dt > 0.06:
+                return FloatingPointError("simulation diverged: kinetic energy")
+
+        sim = FakeSim(dt=0.1, fail_if=fail)
+        runner = ResilientRunner(
+            sim, ring=fake_ring(), checkpoint_interval=5, max_retries=3, dt_factor=0.5
+        )
+        result = runner.run(n_steps=20)
+        assert sim.step_count == 20
+        assert result.retries == 1
+        assert sim.dt == pytest.approx(0.05)
+        assert result.events.count("rollback") == 1
+        assert result.events.count("dt_reduction") == 1
+        assert result.events.count("retry") == 1
+        # The realized history is contiguous: no rolled-back steps remain.
+        assert [r.step for r in result.results] == list(range(1, 21))
+
+    def test_rank_failure_recovers_without_dt_reduction(self):
+        fired = []
+
+        def fail(sim):
+            if sim.step_count == 7 and not fired:
+                fired.append(True)
+                return RankFailedError(3, "allreduce")
+
+        sim = FakeSim(fail_if=fail)
+        runner = ResilientRunner(sim, ring=fake_ring(), checkpoint_interval=4)
+        result = runner.run(n_steps=12)
+        assert sim.step_count == 12
+        assert result.retries == 1
+        assert sim.dt == pytest.approx(0.1)  # external fault: dt untouched
+        assert result.events.count("dt_reduction") == 0
+
+    def test_retry_budget_exhaustion_raises(self):
+        sim = FakeSim(fail_if=lambda s: FloatingPointError("always diverges"))
+        runner = ResilientRunner(
+            sim, ring=fake_ring(), checkpoint_interval=5, max_retries=2
+        )
+        with pytest.raises(RetryBudgetExceededError) as exc_info:
+            runner.run(n_steps=10)
+        assert exc_info.value.events.count("retry") == 2
+
+    def test_backoff_uses_injectable_clock(self):
+        calls = []
+
+        def fail(sim):
+            if sim.step_count == 3 and len(calls) < 2:
+                return FloatingPointError("diverged")
+
+        sim = FakeSim(fail_if=fail)
+        sleeps = []
+
+        def fake_sleep(s):
+            sleeps.append(s)
+            calls.append(True)
+
+        runner = ResilientRunner(
+            sim,
+            ring=fake_ring(),
+            checkpoint_interval=5,
+            max_retries=5,
+            backoff=1.0,
+            backoff_base=2.0,
+            sleep=fake_sleep,
+            dt_factor=1.0,  # keep failing on the same condition
+        )
+        runner.run(n_steps=6)
+        assert sleeps == pytest.approx([1.0, 2.0])
+
+    def test_health_check_triggers_rollback_on_nonfinite_state(self):
+        poked = []
+
+        class PokingInjector(FaultInjector):
+            def apply_field_faults(self, sim):
+                if sim.step_count >= 6 and not poked:
+                    poked.append(True)
+                    sim.state = sim.state.copy()
+                    sim.state[1] = np.nan
+                    return [self._record("sdc", sim.step_count, "poked NaN")]
+                return []
+
+        sim = FakeSim()
+        runner = ResilientRunner(
+            sim,
+            ring=fake_ring(),
+            checkpoint_interval=3,
+            health=HealthCheck(),
+            fault_injector=PokingInjector(),
+        )
+        result = runner.run(n_steps=9)
+        assert sim.step_count == 9
+        assert np.all(np.isfinite(sim.state))
+        assert result.retries == 1
+        assert result.events.count("fault") == 1
+        assert result.events.count("rollback") == 1
+
+    def test_requires_step_target(self):
+        with pytest.raises(ValueError):
+            ResilientRunner(FakeSim(), ring=fake_ring()).run()
+
+    def test_end_time_target(self):
+        sim = FakeSim(dt=0.1)
+        ResilientRunner(sim, ring=fake_ring(), checkpoint_interval=4).run(end_time=1.0)
+        assert sim.time == pytest.approx(1.0, abs=0.15)
+
+
+# -- end-to-end scenarios on the real simulation -------------------------------
+
+
+def constant_dt_case():
+    return rbc_box_case(
+        2e4, n=(2, 2, 2), lx=4, aspect=2.0, dt=1e-2, perturbation_amplitude=0.1
+    )
+
+
+def adaptive_case():
+    return rbc_box_case(
+        2e4, n=(2, 2, 2), lx=4, aspect=2.0, dt=5e-3,
+        perturbation_amplitude=0.1, adaptive_cfl=0.3,
+    )
+
+
+class FailingProcessor(Processor):
+    name = "unstable-analysis"
+
+    def process(self, tag, array, sim_time):
+        raise RuntimeError("analysis routine keeps crashing")
+
+
+class Collector(Processor):
+    name = "collect"
+
+    def __init__(self):
+        self.items = []
+
+    def process(self, tag, array, sim_time):
+        self.items.append(sim_time)
+
+
+class TestEndToEndRecovery:
+    """Acceptance: injected field corruption + failing in-situ processor."""
+
+    def test_recovery_matches_fault_free_reference(self, tmp_path):
+        n_steps = 16
+
+        ref = Simulation(constant_dt_case())
+        ref.run(n_steps=n_steps)
+
+        sim = Simulation(constant_dt_case())
+        collector = Collector()
+        pipeline = InSituPipeline(
+            [FailingProcessor(), collector], quarantine_after=2, strict=False
+        ).open()
+        sim.callbacks.append(
+            lambda s: pipeline.put("temperature", s.temperature, s.time)
+        )
+        injector = FaultInjector(
+            seed=5, schedule=[Fault("sdc", at_step=10, target="temperature", mode="nan")]
+        )
+        runner = ResilientRunner(
+            sim,
+            ring=CheckpointRing(tmp_path, capacity=3),
+            checkpoint_interval=4,
+            fault_injector=injector,
+            max_retries=2,
+        )
+        result = runner.run(n_steps=n_steps, callback_interval=1)
+        stats = pipeline.close()
+
+        # The run completed through the fault...
+        assert sim.step_count == n_steps
+        assert result.retries == 1
+        # ...the event log records the whole story...
+        assert result.events.count("fault") == 1
+        assert result.events.count("rollback") == 1
+        assert result.events.count("retry") == 1
+        assert result.events.count("checkpoint") >= 4
+        # ...the failing processor was quarantined while the healthy one
+        # kept receiving snapshots (including the replayed segment)...
+        assert stats.quarantined == ["unstable-analysis"]
+        assert len(collector.items) >= n_steps
+        # ...and the transient fault was rolled back completely: the final
+        # state reproduces the fault-free reference bit-for-bit.
+        assert np.array_equal(sim.temperature, ref.temperature)
+        assert [r.kinetic_energy for r in result.results] == [
+            r.kinetic_energy for r in ref.history
+        ]
+        assert len(result.results) == n_steps
+
+    def test_event_log_summary_readable(self, tmp_path):
+        sim = Simulation(constant_dt_case())
+        injector = FaultInjector(
+            seed=1, schedule=[Fault("sdc", at_step=4, target="temperature", mode="nan")]
+        )
+        runner = ResilientRunner(
+            sim,
+            ring=CheckpointRing(tmp_path, capacity=2),
+            checkpoint_interval=4,
+            fault_injector=injector,
+        )
+        result = runner.run(n_steps=8)
+        text = result.events.summary()
+        assert "[fault]" in text and "[rollback]" in text and "[retry]" in text
+
+
+class TestKillAndRestart:
+    """Acceptance: restart from the newest valid ring entry reproduces the
+    uninterrupted run's remaining StepResult sequence bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        ref = Simulation(adaptive_case())
+        ref.run(n_steps=18)
+        return ref
+
+    def _interrupted_ring(self, tmp_path):
+        sim1 = Simulation(adaptive_case())
+        runner = ResilientRunner(
+            sim1, ring=CheckpointRing(tmp_path, capacity=3), checkpoint_interval=3
+        )
+        runner.run(n_steps=12)
+        return sim1  # "killed" here: the process state is abandoned
+
+    def _assert_tail_matches(self, sim2, results, reference, start):
+        ref_tail = reference.history[start:]
+        assert [r.dt for r in results] == [r.dt for r in ref_tail]
+        assert [r.time for r in results] == [r.time for r in ref_tail]
+        assert [r.kinetic_energy for r in results] == [
+            r.kinetic_energy for r in ref_tail
+        ]
+        assert np.array_equal(sim2.temperature, reference.temperature)
+        ux1, _, uz1 = reference.velocity
+        ux2, _, uz2 = sim2.velocity
+        assert np.array_equal(ux1, ux2)
+        assert np.array_equal(uz1, uz2)
+
+    def test_restart_from_newest_checkpoint(self, tmp_path, reference):
+        self._interrupted_ring(tmp_path)
+        # A fresh process: new simulation, ring rescanned from disk.
+        sim2 = Simulation(adaptive_case())
+        ring = CheckpointRing(tmp_path, capacity=3)
+        entry, skipped = ring.restore_latest(sim2)
+        assert entry.step == 12 and skipped == []
+        results = sim2.run(n_steps=6)
+        self._assert_tail_matches(sim2, results, reference, start=12)
+
+    def test_restart_with_truncated_newest_checkpoint(self, tmp_path, reference):
+        self._interrupted_ring(tmp_path)
+        ring = CheckpointRing(tmp_path, capacity=3)
+        newest = ring.entries[-1]
+        raw = newest.path.read_bytes()
+        newest.path.write_bytes(raw[: len(raw) // 2])  # deliberate truncation
+
+        sim2 = Simulation(adaptive_case())
+        ring2 = CheckpointRing(tmp_path, capacity=3)
+        entry, skipped = ring2.restore_latest(sim2)
+        assert entry.step == 9
+        assert [e.step for e in skipped] == [12]
+        results = sim2.run(n_steps=9)
+        self._assert_tail_matches(sim2, results, reference, start=9)
