@@ -1,0 +1,105 @@
+"""Comparator for the bench trajectory: diff a run against the baseline.
+
+Reads two ``BENCH_*.json`` files produced by
+:mod:`benchmarks.perf_harness` and fails (nonzero exit) when any shared
+benchmark slowed down beyond the noise threshold, or when the candidate
+dropped a benchmark the baseline has (silent coverage loss reads as
+"nothing regressed" when nothing was measured).
+
+The threshold is *relative*: ``--threshold 0.3`` tolerates a 30 % slowdown
+per entry.  Same-machine smoke runs sit well inside that; a genuine 2x
+regression is far outside it.  Cross-machine comparisons (CI vs. the
+committed baseline) should pass a generous threshold -- the point there is
+catching catastrophic regressions, not 10 % drifts on different silicon.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.compare_bench \
+        BENCH_kernels.json bench_out/BENCH_kernels.json --threshold 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Comparison", "compare", "main"]
+
+
+@dataclass
+class Comparison:
+    """Outcome for one benchmark entry."""
+
+    name: str
+    baseline_seconds: float | None
+    candidate_seconds: float | None
+    ratio: float | None
+    regressed: bool
+
+    def describe(self, threshold: float) -> str:
+        if self.baseline_seconds is None:
+            return f"  NEW  {self.name:<20s} {self.candidate_seconds * 1e3:9.3f} ms (no baseline)"
+        if self.candidate_seconds is None:
+            return f"  GONE {self.name:<20s} missing from candidate (was {self.baseline_seconds * 1e3:.3f} ms)"
+        verdict = "FAIL" if self.regressed else ("ok  " if self.ratio <= 1.0 + threshold else "??  ")
+        return (
+            f"  {verdict} {self.name:<20s} {self.baseline_seconds * 1e3:9.3f} -> "
+            f"{self.candidate_seconds * 1e3:9.3f} ms   x{self.ratio:.3f}"
+        )
+
+
+def compare(baseline: dict, candidate: dict, threshold: float = 0.3) -> list[Comparison]:
+    """Entry-by-entry comparison of two bench records.
+
+    An entry regresses when ``candidate > baseline * (1 + threshold)``;
+    an entry present in the baseline but absent from the candidate also
+    counts as a regression (lost coverage).
+    """
+    base = baseline.get("results", {})
+    cand = candidate.get("results", {})
+    out: list[Comparison] = []
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name, {}).get("seconds")
+        c = cand.get(name, {}).get("seconds")
+        if b is None:
+            out.append(Comparison(name, None, c, None, regressed=False))
+        elif c is None:
+            out.append(Comparison(name, b, None, None, regressed=True))
+        else:
+            ratio = c / b if b > 0 else float("inf")
+            out.append(Comparison(name, b, c, ratio, regressed=ratio > 1.0 + threshold))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_*.json baseline")
+    parser.add_argument("candidate", type=Path, help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.3,
+        help="tolerated relative slowdown per entry (0.3 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    comparisons = compare(baseline, candidate, threshold=args.threshold)
+
+    print(f"comparing {args.candidate} against {args.baseline} (threshold {args.threshold:.0%})")
+    for comp in comparisons:
+        print(comp.describe(args.threshold))
+    regressed = [c for c in comparisons if c.regressed]
+    if regressed:
+        print(f"REGRESSION: {len(regressed)} entr{'y' if len(regressed) == 1 else 'ies'} "
+              f"beyond the {args.threshold:.0%} threshold")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,255 @@
+"""Perf-regression harness: the smoke tier of the bench trajectory.
+
+Measures (a) the solver's hot kernels (the roofline calibration set of
+``test_kernels.py``) and (b) whole-step/per-phase wall times of a small
+box RBC case, and records both into ``BENCH_kernels.json`` and
+``BENCH_step.json`` with environment metadata.  The committed copies at
+the repository root are the baselines the comparator
+(:mod:`benchmarks.compare_bench`) diffs against, so any hot-path PR can
+prove -- or is forced to confess -- its effect on the numbers the paper's
+Figs. 2 and 4 are about.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf_harness --out-dir bench_out
+    PYTHONPATH=src python -m benchmarks.compare_bench BENCH_kernels.json \
+        bench_out/BENCH_kernels.json
+
+Timings are best-of-``repeats`` over a calibrated number of inner
+iterations: the minimum is the standard noise-robust statistic for
+microbenchmarks (anything slower was interference, not the code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Simulation, rbc_box_case
+from repro.core.timers import RegionTimers
+from repro.precond import FastDiagonalization, HybridSchwarzMultigrid
+from repro.sem.dealias import Dealiaser
+from repro.sem.mesh import box_mesh
+from repro.sem.operators import ax_helmholtz
+from repro.sem.space import FunctionSpace
+
+__all__ = [
+    "environment",
+    "kernel_benchmarks",
+    "step_benchmark",
+    "noop_tracer_overhead",
+    "run_harness",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+# The kernel space mirrors benchmarks/test_kernels.py: production-like
+# polynomial degree 7 on a modest element count.
+KERNEL_MESH = (6, 6, 6)
+KERNEL_LX = 8
+
+
+def environment() -> dict:
+    """Metadata pinning where/when a bench record was produced."""
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "git_sha": git_sha,
+    }
+
+
+def _best_seconds(fn, repeats: int = 5, min_time: float = 0.02) -> float:
+    """Best-of-``repeats`` per-call seconds, inner loop calibrated to
+    ``min_time`` so the clock granularity never dominates."""
+    fn()  # warm caches, JIT-able BLAS dispatch, page faults
+    inner = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        dt = time.perf_counter() - t0
+        if dt >= min_time or inner >= 1024:
+            break
+        inner *= 2
+    best = dt / inner
+    for _ in range(repeats - 1):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def kernel_benchmarks(
+    repeats: int = 5, mesh: tuple[int, int, int] = KERNEL_MESH, lx: int = KERNEL_LX
+) -> dict[str, dict]:
+    """Time the hot kernels; returns ``{name: {seconds, bytes, gbps}}``."""
+    sp = FunctionSpace(box_mesh(mesh), lx)
+    rng = np.random.default_rng(0)
+    u = rng.normal(size=sp.shape)
+    dl = Dealiaser(sp)
+    cf = (dl.to_fine(u), dl.to_fine(u), dl.to_fine(u))
+    fdm = FastDiagonalization(sp)
+    hsmg = HybridSchwarzMultigrid(sp)
+    r = sp.gs.add(u)
+
+    cases = {
+        # name: (callable, effective bytes for the bandwidth figure)
+        "ax_helmholtz": (lambda: ax_helmholtz(u, sp.coef, sp.dx, 1.0, 10.0), 9 * u.nbytes),
+        "gather_scatter": (lambda: sp.gs.add(u), 2 * u.nbytes),
+        "dealias_convect": (
+            lambda: dl.convect_weak(u, u, u, u, cf),
+            6 * u.nbytes * (dl.lxd / sp.lx) ** 3,
+        ),
+        "fdm_solve": (lambda: fdm.solve(u), 6 * u.nbytes),
+        "hsmg_apply": (lambda: hsmg(r), 12 * u.nbytes),
+    }
+    results = {}
+    for name, (fn, nbytes) in cases.items():
+        seconds = _best_seconds(fn, repeats=repeats)
+        results[name] = {
+            "seconds": seconds,
+            "bytes": int(nbytes),
+            "gbps": nbytes / seconds / 1e9,
+        }
+    return results
+
+
+def noop_tracer_overhead(
+    repeats: int = 5, mesh: tuple[int, int, int] = KERNEL_MESH, lx: int = KERNEL_LX
+) -> dict:
+    """Overhead of a no-op-traced region around the ax kernel.
+
+    This is the acceptance number for the observability layer: wrapping
+    the kernel in ``RegionTimers.region`` with the default
+    :class:`~repro.observability.tracer.NullTracer` must cost < 2 %.
+    """
+    sp = FunctionSpace(box_mesh(mesh), lx)
+    u = np.random.default_rng(0).normal(size=sp.shape)
+    timers = RegionTimers()  # carries NULL_TRACER
+
+    def bare():
+        ax_helmholtz(u, sp.coef, sp.dx, 1.0, 10.0)
+
+    def traced():
+        with timers.region("ax"):
+            ax_helmholtz(u, sp.coef, sp.dx, 1.0, 10.0)
+
+    t_bare = _best_seconds(bare, repeats=repeats)
+    t_traced = _best_seconds(traced, repeats=repeats)
+    return {
+        "bare_seconds": t_bare,
+        "traced_seconds": t_traced,
+        "overhead_fraction": max(0.0, t_traced / t_bare - 1.0),
+    }
+
+
+def step_benchmark(
+    n_steps: int = 5,
+    warmup: int = 3,
+    n: tuple[int, int, int] = (3, 3, 3),
+    lx: int = 6,
+) -> dict[str, dict]:
+    """Whole-step and per-phase wall times of a small box RBC case.
+
+    Phases come from the same ``RegionTimers`` regions the Fig. 4
+    breakdown uses; ``gather_scatter`` is the dssum time accumulated by
+    the operator itself.
+    """
+    config = rbc_box_case(1e5, n=n, lx=lx, aspect=2.0, perturbation_amplitude=0.1)
+    sim = Simulation(config)
+    sim.run(n_steps=warmup)
+    sim.timers.reset()
+    sim.space.gs.reset_traffic()
+
+    t0 = time.perf_counter()
+    sim.run(n_steps=n_steps)
+    total = time.perf_counter() - t0
+
+    results = {"step": {"seconds": total / n_steps, "steps": n_steps}}
+    for phase, seconds in sim.timers.totals.items():
+        results[phase] = {"seconds": seconds / n_steps}
+    gs = sim.space.gs
+    results["gather_scatter"] = {
+        "seconds": gs.seconds / n_steps,
+        "calls": gs.calls // n_steps,
+        "bytes": gs.bytes_moved // n_steps,
+    }
+    return results
+
+
+def run_harness(
+    out_dir: Path, repeats: int = 5, n_steps: int = 5, warmup: int = 3
+) -> tuple[Path, Path]:
+    """Run both tiers and write ``BENCH_kernels.json`` / ``BENCH_step.json``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    env = environment()
+
+    kernels = {
+        "schema": SCHEMA_VERSION,
+        "tier": "smoke",
+        "environment": env,
+        "results": kernel_benchmarks(repeats=repeats),
+        "noop_tracer_overhead": noop_tracer_overhead(repeats=repeats),
+    }
+    kernels_path = out_dir / "BENCH_kernels.json"
+    kernels_path.write_text(json.dumps(kernels, indent=2) + "\n")
+
+    step = {
+        "schema": SCHEMA_VERSION,
+        "tier": "smoke",
+        "environment": env,
+        "results": step_benchmark(n_steps=n_steps, warmup=warmup),
+    }
+    step_path = out_dir / "BENCH_step.json"
+    step_path.write_text(json.dumps(step, indent=2) + "\n")
+    return kernels_path, step_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=".", help="where to write BENCH_*.json")
+    parser.add_argument("--repeats", type=int, default=5, help="best-of repeats per kernel")
+    parser.add_argument("--steps", type=int, default=5, help="measured steps for the step bench")
+    parser.add_argument("--warmup", type=int, default=3, help="untimed warmup steps")
+    args = parser.parse_args(argv)
+
+    kernels_path, step_path = run_harness(
+        Path(args.out_dir), repeats=args.repeats, n_steps=args.steps, warmup=args.warmup
+    )
+    for path in (kernels_path, step_path):
+        data = json.loads(path.read_text())
+        print(f"wrote {path}")
+        for name, rec in data["results"].items():
+            extra = f"  ({rec['gbps']:.2f} GB/s)" if "gbps" in rec else ""
+            print(f"  {name:<18s} {rec['seconds'] * 1e3:9.3f} ms{extra}")
+    overhead = json.loads(kernels_path.read_text())["noop_tracer_overhead"]
+    print(f"no-op tracer overhead: {100 * overhead['overhead_fraction']:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -123,6 +123,17 @@ class SimWorld:
         self._collective("barrier")
         self.stats.barrier_calls += 1
 
+    def publish_metrics(self, metrics, prefix: str = "comm") -> None:
+        """Snapshot the traffic counters into a metrics registry.
+
+        Convenience wrapper over
+        :func:`repro.observability.bridge.publish_traffic_stats`, so a
+        driver holding only the world can feed the unified record.
+        """
+        from repro.observability.bridge import publish_traffic_stats
+
+        publish_traffic_stats(self.stats, metrics, prefix=prefix)
+
     def gather(self, values: list, root: int = 0) -> list:
         """Gather per-rank values at rank ``root``.
 

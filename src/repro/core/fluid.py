@@ -103,6 +103,7 @@ class FluidScheme:
             restart=config.gmres_restart,
             project_out=self._pressure_project,
             name="pressure",
+            tracer=self.timers.tracer,
         )
         # Previous-solutions projection space (Fischer's technique; Neko's
         # proj_pre): deflates each pressure solve against recent history.
@@ -152,6 +153,7 @@ class FluidScheme:
             tol=self.config.velocity_tol,
             maxiter=500,
             name="velocity",
+            tracer=self.timers.tracer,
         )
         self._helmholtz_b0 = (b0, self.dt)
 

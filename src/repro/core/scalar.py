@@ -101,6 +101,7 @@ class ScalarScheme:
             tol=self.config.temperature_tol,
             maxiter=500,
             name="temperature",
+            tracer=self.timers.tracer,
         )
         self._b0 = (b0, self.dt)
 

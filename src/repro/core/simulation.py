@@ -9,6 +9,7 @@ hooks: compression, streaming POD, field output).
 
 from __future__ import annotations
 
+import time as _time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -19,6 +20,8 @@ from repro.core.fluid import FluidScheme
 from repro.core.scalar import ScalarScheme
 from repro.core.statistics import NusseltNumbers, compute_nusselt, reynolds_number
 from repro.core.timers import RegionTimers
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import NULL_TRACER
 from repro.sem.space import FunctionSpace
 from repro.timeint.bdf_ext import TimeScheme
 from repro.timeint.cfl import courant_number
@@ -55,11 +58,19 @@ class StatSample:
 class Simulation:
     """A Boussinesq RBC simulation assembled from a :class:`CaseConfig`."""
 
-    def __init__(self, config: CaseConfig) -> None:
+    def __init__(self, config: CaseConfig, tracer=None, metrics=None) -> None:
         config.validate()
         self.config = config
         self.space = FunctionSpace(config.mesh, config.lx)
-        self.timers = RegionTimers()
+        # Observability: the tracer defaults to the no-op implementation
+        # (uninstrumented runs stay on the pre-observability fast path);
+        # the metrics registry is always live -- its per-step cost is a
+        # handful of dict updates.  Span names follow the Fig. 4 phase
+        # taxonomy: advection, pressure, velocity, temperature,
+        # gather_scatter, insitu (see EXPERIMENTS.md).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timers = RegionTimers(tracer=self.tracer)
         self.adaptive = config.adaptive_cfl is not None
         self.scheme = (
             VariableTimeScheme(config.time_order)
@@ -130,39 +141,86 @@ class Simulation:
             self._adapt_dt()
             self.scheme.set_step(self.dt)
 
-        b = self.space.coef.mass
-        zeros = np.zeros(self.space.shape)
-        # Buoyancy from the *current* temperature (explicit coupling).
-        buoy = (zeros, zeros, b * self.scalar.temperature)
+        gs = self.space.gs
+        gs_calls, gs_bytes, gs_seconds = gs.calls, gs.bytes_moved, gs.seconds
+        t_step = _time.perf_counter()
+        with self.tracer.span("step", step=self.step_count + 1, sim_time=self.time):
+            b = self.space.coef.mass
+            zeros = np.zeros(self.space.shape)
+            # Buoyancy from the *current* temperature (explicit coupling).
+            buoy = (zeros, zeros, b * self.scalar.temperature)
 
-        c_fine = self.fluid.fine_velocity()
-        vel_now = self.velocity
-        self.scalar.step(vel_now, c_fine=c_fine)
-        mons = self.fluid.step(buoy, c_fine=c_fine)
+            c_fine = self.fluid.fine_velocity()
+            vel_now = self.velocity
+            self.scalar.step(vel_now, c_fine=c_fine)
+            mons = self.fluid.step(buoy, c_fine=c_fine)
 
-        self.scheme.advance()
-        self.step_count += 1
-        self.time += self.dt
+            self.scheme.advance()
+            self.step_count += 1
+            self.time += self.dt
 
-        ux, uy, uz = self.velocity
-        result = StepResult(
-            step=self.step_count,
-            time=self.time,
-            cfl=courant_number(self.space, ux, uy, uz, self.dt),
-            dt=self.dt,
-            pressure_iterations=mons["pressure"].iterations,
-            velocity_iterations=max(
-                mons["velocity_x"].iterations,
-                mons["velocity_y"].iterations,
-                mons["velocity_z"].iterations,
-            ),
-            temperature_iterations=self.scalar.monitors["temperature"].iterations,
-            kinetic_energy=self.fluid.kinetic_energy(),
-            divergence=self.fluid.divergence_norm(),
+            ux, uy, uz = self.velocity
+            result = StepResult(
+                step=self.step_count,
+                time=self.time,
+                cfl=courant_number(self.space, ux, uy, uz, self.dt),
+                dt=self.dt,
+                pressure_iterations=mons["pressure"].iterations,
+                velocity_iterations=max(
+                    mons["velocity_x"].iterations,
+                    mons["velocity_y"].iterations,
+                    mons["velocity_z"].iterations,
+                ),
+                temperature_iterations=self.scalar.monitors["temperature"].iterations,
+                kinetic_energy=self.fluid.kinetic_energy(),
+                divergence=self.fluid.divergence_norm(),
+            )
+            if self.tracer.enabled:
+                # Gather--scatter is accumulated across many tiny dssum
+                # calls; surface the per-step total as an aggregate phase
+                # span so the Fig. 4 taxonomy is complete in the trace.
+                self.tracer.record_span(
+                    "gather_scatter",
+                    gs.seconds - gs_seconds,
+                    counters={
+                        "calls": gs.calls - gs_calls,
+                        "bytes": gs.bytes_moved - gs_bytes,
+                    },
+                )
+        self._record_step_metrics(
+            result, _time.perf_counter() - t_step, gs_calls, gs_bytes, gs_seconds
         )
         self.history.append(result)
         self.last_cfl = (result.cfl, result.dt)
         return result
+
+    def _record_step_metrics(
+        self,
+        result: StepResult,
+        step_seconds: float,
+        gs_calls: int,
+        gs_bytes: int,
+        gs_seconds: float,
+    ) -> None:
+        """Fold one step's measurements into the metrics registry."""
+        # Runtime import: the bridge pulls repro.resilience, which imports
+        # back into repro.core -- fine once everything is initialized,
+        # circular at module-import time.
+        from repro.observability.bridge import record_solver_monitor
+
+        m = self.metrics
+        m.counter("sim.steps").inc()
+        m.histogram("sim.step_seconds").record(step_seconds)
+        m.gauge("sim.cfl").set(result.cfl)
+        m.gauge("sim.dt").set(result.dt)
+        m.gauge("sim.kinetic_energy").set(result.kinetic_energy)
+        m.gauge("sim.divergence").set(result.divergence)
+        gs = self.space.gs
+        m.counter("gs.calls").inc(gs.calls - gs_calls)
+        m.counter("gs.bytes_moved").inc(gs.bytes_moved - gs_bytes)
+        m.counter("gs.seconds").inc(gs.seconds - gs_seconds)
+        for mon in (*self.fluid.monitors.values(), *self.scalar.monitors.values()):
+            record_solver_monitor(mon, m)
 
     def run(
         self,
@@ -188,10 +246,12 @@ class Simulation:
             res = self.step()
             results.append(res)
             if stats_interval and self.step_count % stats_interval == 0:
-                self.sample_statistics()
+                with self.tracer.span("statistics", step=self.step_count):
+                    self.sample_statistics()
             if callback_interval and self.step_count % callback_interval == 0:
-                for cb in self.callbacks:
-                    cb(self)
+                with self.tracer.span("insitu", step=self.step_count):
+                    for cb in self.callbacks:
+                        cb(self)
             if print_interval and self.step_count % print_interval == 0:
                 print(
                     f"step {res.step:6d}  t={res.time:.4f}  CFL={res.cfl:.3f}  "

@@ -3,6 +3,13 @@
 The paper measures "MPI_Wtime timings around relevant code regions"; this
 is the equivalent instrumentation for the Python solver, and the measured
 counterpart of the Fig. 4 wall-time distribution.
+
+A :class:`RegionTimers` can carry a
+:class:`~repro.observability.tracer.Tracer`: every region entry then also
+opens a trace span, so the flat Fig. 4 accumulation and the hierarchical
+Fig. 2 style trace come from the *same* ``with timers.region(...)`` sites.
+The default is the no-op tracer, which keeps the uninstrumented path
+within a branch of the original code.
 """
 
 from __future__ import annotations
@@ -10,19 +17,30 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+from repro.observability.tracer import NULL_TRACER
+
 __all__ = ["RegionTimers"]
 
 
 class RegionTimers:
-    """Accumulates wall time per named region (``pressure``, ``velocity``, ...)."""
+    """Accumulates wall time per named region (``pressure``, ``velocity``, ...).
 
-    def __init__(self) -> None:
+    Regions may nest and re-enter: each entry is timed independently and
+    accumulated under its own name (nested time is counted in both the
+    outer and the inner region, as with MPI region timers).
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @contextmanager
     def region(self, name: str):
         """Context manager timing one region entry."""
+        span_cm = self.tracer.span(name) if self.tracer.enabled else None
+        if span_cm is not None:
+            span_cm.__enter__()
         t0 = time.perf_counter()
         try:
             yield
@@ -30,6 +48,8 @@ class RegionTimers:
             dt = time.perf_counter() - t0
             self.totals[name] = self.totals.get(name, 0.0) + dt
             self.counts[name] = self.counts.get(name, 0) + 1
+            if span_cm is not None:
+                span_cm.__exit__(None, None, None)
 
     def total(self) -> float:
         """Sum over all regions."""

@@ -1,0 +1,139 @@
+"""Exporters for the trace/metrics record.
+
+Three formats, mirroring how the paper's measurements are consumed:
+
+* **Chrome trace JSON** -- loads directly into ``chrome://tracing`` (or
+  Perfetto) and renders the nested spans as the familiar flame chart, the
+  reproduction of the Fig. 2 style kernel trace.
+* **JSONL** -- one span per line, the machine-readable stream for ad-hoc
+  analysis (pandas, jq).
+* **Text report** -- an aggregated tree with totals, counts and share of
+  parent time, the Fig. 4 style per-phase breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracer import Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "span_records",
+    "write_jsonl",
+    "text_report",
+]
+
+
+def _args(span: "Span") -> dict:
+    args = {}
+    if span.tags:
+        args.update({str(k): v for k, v in span.tags.items()})
+    if span.counters:
+        args.update({str(k): v for k, v in span.counters.items()})
+    return args
+
+
+def to_chrome_trace(
+    tracer: "Tracer",
+    metrics: "MetricsRegistry | None" = None,
+    pid: int = 0,
+    tid: int = 0,
+    process_name: str = "repro",
+) -> dict:
+    """Build a Chrome-trace ``dict`` (``chrome://tracing``-loadable).
+
+    Spans become ``"X"`` (complete) events with microsecond timestamps;
+    instant events become ``"i"`` events.  A metrics snapshot, when given,
+    is attached as trace ``metadata`` (visible in the viewer's metadata
+    pane) so one file carries the whole record.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.walk():
+        if span.end is None:
+            continue  # still open; an exported half-span would render as garbage
+        base = {
+            "name": span.name,
+            "cat": str(span.tags.get("cat", "sim")),
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start * 1e6,
+        }
+        if span.instant:
+            events.append({**base, "ph": "i", "s": "t", "args": _args(span)})
+        else:
+            events.append(
+                {**base, "ph": "X", "dur": span.duration * 1e6, "args": _args(span)}
+            )
+    trace = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        trace["metadata"] = {"metrics": metrics.snapshot()}
+    return trace
+
+
+def write_chrome_trace(
+    path, tracer: "Tracer", metrics: "MetricsRegistry | None" = None, **kwargs
+) -> None:
+    """Serialize :func:`to_chrome_trace` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer, metrics, **kwargs), fh)
+
+
+def span_records(tracer: "Tracer"):
+    """Flat span dicts (one per finished span), depth-first order."""
+    for span in tracer.walk():
+        if span.end is None:
+            continue
+        yield {
+            "name": span.name,
+            "start": span.start,
+            "duration": span.duration,
+            "depth": span.depth,
+            "parent": span.parent.name if span.parent is not None else None,
+            "instant": span.instant,
+            "tags": dict(span.tags),
+            "counters": dict(span.counters),
+        }
+
+
+def write_jsonl(path, tracer: "Tracer") -> None:
+    """One JSON object per finished span, one per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in span_records(tracer):
+            fh.write(json.dumps(rec) + "\n")
+
+
+def text_report(tracer: "Tracer", metrics: "MetricsRegistry | None" = None) -> str:
+    """Aggregated per-path breakdown (the Fig. 4 quantity, as text).
+
+    Spans are grouped by their slash-joined path; each line shows total
+    seconds, call count and the share of the parent path's total.
+    """
+    agg = tracer.aggregate()
+    lines = ["== trace breakdown =="]
+    if not agg:
+        lines.append("(no spans recorded)")
+    for path in sorted(agg):
+        total, count = agg[path]
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        parent = path.rsplit("/", 1)[0] if depth else None
+        share = ""
+        if parent is not None and agg.get(parent, (0.0, 0))[0] > 0:
+            share = f"  {100.0 * total / agg[parent][0]:5.1f}% of {parent.rsplit('/', 1)[-1]}"
+        lines.append(f"{'  ' * depth}{name:<24s} {total:10.4f} s  ({count} calls){share}")
+    if metrics is not None and len(metrics):
+        lines += ["", "== metrics ==", metrics.report()]
+    return "\n".join(lines)

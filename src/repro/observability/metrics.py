@@ -1,0 +1,182 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+Spans answer "where did the time go inside one run"; metrics answer "how
+much of everything happened" -- solver iterations, gather--scatter bytes,
+in-situ queue depths, resilience retries.  The registry is the single
+place all of it accumulates, snapshotable to a plain dict for JSON export
+and renderable as a text report.
+
+Everything is deliberately simple and allocation-light: a metric is a
+small mutable object looked up once (``registry.counter("gs.calls")``)
+and then updated with plain float arithmetic, cheap enough to leave on in
+production runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (calls, bytes, retries)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-value metric with running extrema (queue depth, dt, residual)."""
+
+    name: str
+    value: float = math.nan
+    min: float = math.inf
+    max: float = -math.inf
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": self.min if self.updates else math.nan,
+            "max": self.max if self.updates else math.nan,
+            "updates": self.updates,
+        }
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (solver iterations, span durations).
+
+    Keeps exact count/sum/min/max plus a bounded reservoir of the most
+    recent ``keep`` observations for percentile estimates -- enough for
+    regression dashboards without unbounded memory.
+    """
+
+    name: str
+    keep: int = 1024
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    recent: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.recent.append(value)
+        if len(self.recent) > self.keep:
+            del self.recent[: len(self.recent) - self.keep]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the retained reservoir."""
+        if not self.recent:
+            return math.nan
+        data = sorted(self.recent)
+        idx = min(len(data) - 1, max(0, int(round(q * (len(data) - 1)))))
+        return data[idx]
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named metric store; metrics are created on first access.
+
+    Names are dotted paths (``solver.pressure.iterations``); the snapshot
+    keeps them flat, which diffing and JSON tooling prefer.  Asking for an
+    existing name with a different metric kind raises -- silent type
+    punning is how dashboards rot.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name=name, **kwargs)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}, "
+                f"requested {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, keep: int = 1024) -> Histogram:
+        return self._get(name, Histogram, keep=keep)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Flat ``{name: summary dict}`` snapshot, JSON-serializable."""
+        return {k: m.snapshot() for k, m in sorted(self._metrics.items())}
+
+    def report(self) -> str:
+        """Human-readable one-line-per-metric report."""
+        lines = []
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Counter):
+                lines.append(f"{name:<40s} counter {m.value:g}")
+            elif isinstance(m, Gauge):
+                lines.append(
+                    f"{name:<40s} gauge   {m.value:g} (min {m.min:g}, max {m.max:g})"
+                )
+            else:
+                lines.append(
+                    f"{name:<40s} hist    n={m.count} mean={m.mean:g} "
+                    f"min={m.min:g} max={m.max:g}"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,273 @@
+"""Hierarchical wall-clock span tracing.
+
+The paper's performance evidence is observational: Fig. 2 is a kernel-level
+execution trace, Fig. 4 a per-phase wall-time breakdown.  This module is
+the instrumentation that produces the equivalent record for the Python
+solver: nested :class:`Span` objects with wall time, counters and tags,
+collected by a :class:`Tracer` and exported (``repro.observability.export``)
+to Chrome-trace JSON, JSONL or a plain-text tree.
+
+Instrumented code never pays for tracing it does not use: the module-level
+:data:`NULL_TRACER` (a :class:`NullTracer`) implements the same interface
+as pure no-ops, and every integration point in the solver defaults to it.
+The hot kernels themselves (``ax_helmholtz``, gather--scatter) are *not*
+wrapped per call -- spans sit at the phase/solve level, matching the MPI
+region timers of the production code, so the overhead of a live tracer is
+a handful of microseconds per time step.
+
+Tracers are single-threaded by design (one per simulation loop, like one
+per MPI rank); asynchronous components (the in-situ pipeline worker)
+report through their own stats objects, which the bridge module folds into
+the same record.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One traced interval: a named region with children, tags and counters.
+
+    ``start``/``end`` are seconds on the tracer's monotonic timeline
+    (offsets from the tracer's construction).  ``tags`` are small
+    descriptive values fixed at open time (step number, solver name);
+    ``counters`` are numeric values accumulated while the span is open
+    (iterations, bytes moved).
+    """
+
+    name: str
+    start: float
+    end: float | None = None
+    parent: "Span | None" = field(default=None, repr=False)
+    children: list["Span"] = field(default_factory=list)
+    tags: dict = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    instant: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Wall time in seconds (0.0 while open or for instant events)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the time covered by child spans."""
+        return self.duration - sum(c.duration for c in self.children if not c.instant)
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        """Accumulate a numeric counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + value
+
+    def walk(self):
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    @property
+    def depth(self) -> int:
+        d, s = 0, self.parent
+        while s is not None:
+            d, s = d + 1, s.parent
+        return d
+
+
+class Tracer:
+    """Collects a forest of nested :class:`Span` objects.
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("step", step=3):
+            with tracer.span("pressure"):
+                tracer.add("iterations", mon.iterations)
+
+    The clock is injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._origin = clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._origin
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Open a child span of the current span (a root span at top level)."""
+        sp = Span(name=name, start=self._now(), parent=self.current, tags=tags)
+        if sp.parent is not None:
+            sp.parent.children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end = self._now()
+            self._stack.pop()
+
+    def event(self, name: str, **tags) -> Span:
+        """Record a zero-duration instant event at the current position."""
+        now = self._now()
+        sp = Span(
+            name=name, start=now, end=now, parent=self.current, tags=tags, instant=True
+        )
+        if sp.parent is not None:
+            sp.parent.children.append(sp)
+        else:
+            self.roots.append(sp)
+        return sp
+
+    def record_span(
+        self, name: str, duration: float, counters: dict[str, float] | None = None, **tags
+    ) -> Span:
+        """Record an *aggregate* span ending now with a known duration.
+
+        Used for phases whose time is accumulated across many tiny calls
+        (gather--scatter) rather than measured as one contiguous interval;
+        the span is placed so that it ends at the current time.
+        """
+        now = self._now()
+        sp = Span(
+            name=name,
+            start=now - max(duration, 0.0),
+            end=now,
+            parent=self.current,
+            tags=tags,
+            counters=dict(counters or {}),
+        )
+        if sp.parent is not None:
+            sp.parent.children.append(sp)
+        else:
+            self.roots.append(sp)
+        return sp
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        """Accumulate a counter on the innermost open span (no-op at top level)."""
+        if self._stack:
+            self._stack[-1].add(counter, value)
+
+    def set_tag(self, key: str, value) -> None:
+        """Set a tag on the innermost open span (no-op at top level)."""
+        if self._stack:
+            self._stack[-1].tags[key] = value
+
+    # -- queries -------------------------------------------------------------
+
+    def walk(self):
+        """Depth-first iteration over every recorded span."""
+        for r in self.roots:
+            yield from r.walk()
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.walk() if s.name == name]
+
+    def total(self, name: str) -> float:
+        """Summed duration over all spans with the given name."""
+        return sum(s.duration for s in self.spans_named(name))
+
+    def aggregate(self) -> dict[str, tuple[float, int]]:
+        """``{path: (total seconds, count)}`` keyed by slash-joined span path."""
+        agg: dict[str, tuple[float, int]] = {}
+
+        def visit(span: Span, prefix: str) -> None:
+            path = f"{prefix}/{span.name}" if prefix else span.name
+            if not span.instant:
+                tot, cnt = agg.get(path, (0.0, 0))
+                agg[path] = (tot + span.duration, cnt + 1)
+            for c in span.children:
+                visit(c, path)
+
+        for r in self.roots:
+            visit(r, "")
+        return agg
+
+    def reset(self) -> None:
+        """Drop all completed spans (open spans survive, reparented as roots)."""
+        self.roots = list(self._stack[:1])
+        for sp in self._stack:
+            sp.children = [c for c in sp.children if c.end is None]
+
+
+class _NullSpan:
+    """Inert span handed out by :class:`NullTracer`; absorbs all calls."""
+
+    __slots__ = ()
+    duration = 0.0
+    self_time = 0.0
+    children: list = []
+    counters: dict = {}
+    tags: dict = {}
+    name = ""
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: same interface as :class:`Tracer`, near-zero cost.
+
+    This is the default everywhere instrumentation is threaded through the
+    solver, keeping the uninstrumented hot path identical to the
+    pre-observability code (one attribute check and a trivial context
+    manager per *phase*, never per kernel call).
+    """
+
+    enabled = False
+    roots: list = []
+    current = None
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        yield _NULL_SPAN
+
+    def event(self, name: str, **tags) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, duration: float, counters=None, **tags) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        pass
+
+    def set_tag(self, key: str, value) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def spans_named(self, name: str) -> list:
+        return []
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def aggregate(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

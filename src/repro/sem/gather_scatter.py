@@ -17,6 +17,7 @@ bandwidth-bound, matching the character of the real kernel.  The two-phase
 from __future__ import annotations
 
 from collections.abc import Callable
+from time import perf_counter
 
 import numpy as np
 
@@ -92,16 +93,27 @@ class GatherScatter:
         # Nodes with multiplicity 1 are element-interior; the shared set is
         # what a distributed implementation would communicate.
         self.n_shared = int(np.count_nonzero(mult > 1))
+        # Traffic accounting (read by the observability layer): dssum call
+        # count, bytes moved (gather + scatter) and accumulated wall time.
+        # Plain scalar updates -- negligible next to the bincount itself.
+        self.calls = 0
+        self.bytes_moved = 0
+        self.seconds = 0.0
+        self.dot_calls = 0
 
     # -- core operations ---------------------------------------------------
 
     def add(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Direct-stiffness summation: sum duplicated dofs, redistribute."""
+        t0 = perf_counter()
         flat = u.reshape(-1)
         acc = np.bincount(self.global_ids, weights=flat, minlength=self.n_global)
         if out is None:
             out = np.empty_like(u)
         out.reshape(-1)[:] = acc[self.global_ids]
+        self.calls += 1
+        self.bytes_moved += 2 * u.nbytes
+        self.seconds += perf_counter() - t0
         return out
 
     def min(self, u: np.ndarray) -> np.ndarray:
@@ -152,4 +164,12 @@ class GatherScatter:
         the *unassembled* mass matrix, by contrast, are plain elementwise sums
         because each duplicate carries a partial quadrature contribution.)
         """
+        self.dot_calls += 1
         return float(np.sum(u * v * self._inv_multiplicity))
+
+    def reset_traffic(self) -> None:
+        """Zero the traffic counters (between measurement windows)."""
+        self.calls = 0
+        self.bytes_moved = 0
+        self.seconds = 0.0
+        self.dot_calls = 0

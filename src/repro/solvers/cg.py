@@ -13,6 +13,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.observability.tracer import NULL_TRACER
 from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["ConjugateGradient"]
@@ -51,6 +52,7 @@ class ConjugateGradient:
         fixed_iterations: int | None = None,
         atol: float = 1e-30,
         name: str = "cg",
+        tracer=None,
     ) -> None:
         self.amul = amul
         self.dot = dot
@@ -60,9 +62,20 @@ class ConjugateGradient:
         self.maxiter = maxiter
         self.fixed_iterations = fixed_iterations
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
         """Solve ``A x = b``; returns the solution and a convergence monitor."""
+        if not self.tracer.enabled:
+            return self._solve(b, x0)
+        with self.tracer.span(f"krylov.{self.name}") as sp:
+            x, mon = self._solve(b, x0)
+            sp.add("iterations", mon.iterations)
+            sp.tags["converged"] = mon.converged
+            sp.tags["final_residual"] = mon.final_residual
+            return x, mon
+
+    def _solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
         mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
         x = np.zeros_like(b) if x0 is None else x0.copy()
 

@@ -14,6 +14,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.observability.tracer import NULL_TRACER
 from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["Gmres"]
@@ -49,6 +50,7 @@ class Gmres:
         project_out: Callable[[np.ndarray], np.ndarray] | None = None,
         atol: float = 1e-30,
         name: str = "gmres",
+        tracer=None,
     ) -> None:
         self.amul = amul
         self.dot = dot
@@ -59,12 +61,23 @@ class Gmres:
         self.restart = restart
         self.project_out = project_out if project_out is not None else (lambda u: u)
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _norm(self, u: np.ndarray) -> float:
         return float(np.sqrt(max(self.dot(u, u), 0.0)))
 
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
         """Solve ``A x = b``; returns the solution and a convergence monitor."""
+        if not self.tracer.enabled:
+            return self._solve(b, x0)
+        with self.tracer.span(f"krylov.{self.name}") as sp:
+            x, mon = self._solve(b, x0)
+            sp.add("iterations", mon.iterations)
+            sp.tags["converged"] = mon.converged
+            sp.tags["final_residual"] = mon.final_residual
+            return x, mon
+
+    def _solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
         mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
         b = self.project_out(b.copy())
         x = np.zeros_like(b) if x0 is None else x0.copy()

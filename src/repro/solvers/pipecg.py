@@ -20,6 +20,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.observability.tracer import NULL_TRACER
 from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["PipelinedConjugateGradient"]
@@ -41,6 +42,7 @@ class PipelinedConjugateGradient:
         atol: float = 1e-30,
         replacement_interval: int = 50,
         name: str = "pipecg",
+        tracer=None,
     ) -> None:
         self.amul = amul
         self.dot = dot
@@ -53,11 +55,22 @@ class PipelinedConjugateGradient:
         # restores attainable accuracy (the standard Cools/Vanroose fix).
         self.replacement_interval = replacement_interval
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Reduction accounting: fused (gamma, delta, ||r||) per iteration.
         self.reductions_per_iteration = 1
 
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
         """Solve ``A x = b``; returns the solution and a monitor."""
+        if not self.tracer.enabled:
+            return self._solve(b, x0)
+        with self.tracer.span(f"krylov.{self.name}") as sp:
+            x, mon = self._solve(b, x0)
+            sp.add("iterations", mon.iterations)
+            sp.tags["converged"] = mon.converged
+            sp.tags["final_residual"] = mon.final_residual
+            return x, mon
+
+    def _solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
         mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
         x = np.zeros_like(b) if x0 is None else x0.copy()
         r = b - self.amul(x) if x0 is not None else b.copy()

@@ -1,0 +1,39 @@
+"""Regenerate the golden RBC baseline.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/core/golden/regenerate.py
+
+Only regenerate after an *intentional* change to the numerics (operators,
+time integrator, solver tolerances, statistics definitions), and commit
+the refreshed ``rbc_box_golden.json`` together with a justification in
+the PR description.  The case definition itself lives in
+``tests/core/test_golden_rbc.py`` (``CASE`` / ``run_golden_case``) so the
+test and this script can never disagree about what is being pinned.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tests.core.test_golden_rbc import GOLDEN_PATH, run_golden_case  # noqa: E402
+
+
+def main() -> int:
+    data = run_golden_case()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    print(f"  {len(data['kinetic_energy'])} steps, dt={data['dt']:g}, "
+          f"final KE={data['kinetic_energy'][-1]:.6e}")
+    print(f"  {len(data['nusselt_volume'])} Nu samples, "
+          f"last Nu_vol={data['nusselt_volume'][-1]:.6f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

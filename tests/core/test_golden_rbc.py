@@ -1,0 +1,126 @@
+"""Golden-file regression test: a deterministic tiny box RBC trajectory.
+
+The case is bit-reproducible by construction (the initial perturbation is
+a fixed set of harmonics, no RNG anywhere in the time loop), so the Nu
+and kinetic-energy time series pin down the *entire* numerical pipeline:
+operators, gather--scatter, preconditioners, Krylov solvers, time
+integrator and statistics.  Any PR that shifts these series beyond
+cross-BLAS roundoff has changed the physics, not just the code.
+
+Regenerating the baseline (only after an *intentional* numerics change)::
+
+    PYTHONPATH=src python tests/core/golden/regenerate.py
+
+and commit the updated ``tests/core/golden/rbc_box_golden.json`` together
+with an explanation of why the trajectory legitimately moved.
+
+Tolerances: ``rtol=1e-4`` absorbs BLAS/architecture-dependent reduction
+orderings over the short horizon; genuine numerics changes move these
+series by far more.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import Simulation, rbc_box_case
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "rbc_box_golden.json"
+
+# Case parameters are frozen here and recorded into the golden file; the
+# test cross-checks them so the baseline can never silently drift apart
+# from the case definition.
+CASE = {
+    "rayleigh": 1e4,
+    "prandtl": 1.0,
+    "n": [2, 2, 2],
+    "lx": 4,
+    "aspect": 1.0,
+    "perturbation_amplitude": 0.1,
+    "n_steps": 12,
+    "stats_interval": 3,
+}
+
+RTOL = 1e-4
+
+
+def run_golden_case() -> dict:
+    """Run the frozen case and return the comparable series."""
+    config = rbc_box_case(
+        CASE["rayleigh"],
+        prandtl=CASE["prandtl"],
+        n=tuple(CASE["n"]),
+        lx=CASE["lx"],
+        aspect=CASE["aspect"],
+        perturbation_amplitude=CASE["perturbation_amplitude"],
+    )
+    sim = Simulation(config)
+    results = sim.run(n_steps=CASE["n_steps"], stats_interval=CASE["stats_interval"])
+    return {
+        "case": dict(CASE),
+        "dt": config.dt,
+        "final_time": sim.time,
+        "kinetic_energy": [r.kinetic_energy for r in results],
+        "divergence": [r.divergence for r in results],
+        "nusselt_volume": [s.nusselt.volume for s in sim.stat_samples],
+        "nusselt_plate_bottom": [s.nusselt.plate_bottom for s in sim.stat_samples],
+        "nusselt_dissipation": [s.nusselt.dissipation for s in sim.stat_samples],
+        "sample_times": [s.time for s in sim.stat_samples],
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing -- regenerate with "
+        "`PYTHONPATH=src python tests/core/golden/regenerate.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    return run_golden_case()
+
+
+def test_baseline_matches_frozen_case_definition(golden):
+    assert golden["case"] == CASE, (
+        "golden file was generated from different case parameters -- regenerate it"
+    )
+
+
+def test_kinetic_energy_series(golden, current):
+    assert len(current["kinetic_energy"]) == CASE["n_steps"]
+    np.testing.assert_allclose(
+        current["kinetic_energy"], golden["kinetic_energy"], rtol=RTOL, atol=1e-12
+    )
+
+
+def test_nusselt_series(golden, current):
+    for key in ("nusselt_volume", "nusselt_plate_bottom", "nusselt_dissipation"):
+        np.testing.assert_allclose(
+            current[key], golden[key], rtol=RTOL, atol=1e-12, err_msg=key
+        )
+
+
+def test_time_axis(golden, current):
+    assert current["dt"] == pytest.approx(golden["dt"], rel=1e-12)
+    assert current["final_time"] == pytest.approx(golden["final_time"], rel=1e-12)
+    np.testing.assert_allclose(current["sample_times"], golden["sample_times"], rtol=1e-12)
+
+
+def test_divergence_stays_small(golden, current):
+    # The projection keeps the velocity discretely divergence-free; the
+    # golden values bound how much roundoff-level divergence is normal.
+    ceiling = 10.0 * max(golden["divergence"]) + 1e-12
+    assert max(current["divergence"]) <= ceiling
+
+
+def test_trajectory_is_dynamically_alive(current):
+    # Guard against a degenerate baseline: the perturbation must actually
+    # evolve (growing convection at Ra an order above onset).
+    ke = current["kinetic_energy"]
+    assert ke[-1] != pytest.approx(ke[0], rel=1e-3)
+    assert all(k > 0 for k in ke)

@@ -1,0 +1,90 @@
+"""Metrics registry unit tests."""
+
+import math
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        m = MetricsRegistry()
+        c = m.counter("gs.calls")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert m.counter("gs.calls") is c  # get-or-create returns the same object
+
+    def test_rejects_decrement(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_tracks_extrema(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        for v in (3, 7, 1):
+            g.set(v)
+        assert g.value == 1
+        assert g.min == 1
+        assert g.max == 7
+        assert g.updates == 3
+
+    def test_unset_gauge_snapshot_is_nan(self):
+        snap = MetricsRegistry().gauge("empty").snapshot()
+        assert math.isnan(snap["value"])
+        assert math.isnan(snap["min"])
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = MetricsRegistry().histogram("iters")
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(20.0)
+        assert h.min == 10
+        assert h.max == 30
+        assert h.percentile(0.5) == 20
+
+    def test_reservoir_is_bounded_but_totals_exact(self):
+        h = MetricsRegistry().histogram("big", keep=16)
+        for v in range(100):
+            h.record(v)
+        assert len(h.recent) == 16
+        assert h.count == 100
+        assert h.total == sum(range(100))
+        assert h.min == 0 and h.max == 99
+
+    def test_empty_percentile_nan(self):
+        assert math.isnan(MetricsRegistry().histogram("h").percentile(0.5))
+
+
+class TestRegistry:
+    def test_kind_punning_raises(self):
+        m = MetricsRegistry()
+        m.counter("name")
+        with pytest.raises(TypeError):
+            m.gauge("name")
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        m = MetricsRegistry()
+        m.counter("a").inc(2)
+        m.gauge("b").set(1.5)
+        m.histogram("c").record(3)
+        snap = m.snapshot()
+        assert set(snap) == {"a", "b", "c"}
+        assert snap["a"] == {"type": "counter", "value": 2}
+        json.dumps(snap)  # must not raise
+
+    def test_report_and_reset(self):
+        m = MetricsRegistry()
+        m.counter("hits").inc()
+        assert "hits" in m.report()
+        assert len(m) == 1 and "hits" in m
+        m.reset()
+        assert len(m) == 0

@@ -1,0 +1,153 @@
+"""Span tracer unit tests (deterministic via an injected clock)."""
+
+import pytest
+
+from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class FakeClock:
+    """Monotonic clock advanced by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpans:
+    def test_single_span_duration(self, tracer, clock):
+        with tracer.span("work"):
+            clock.advance(1.5)
+        (root,) = tracer.roots
+        assert root.name == "work"
+        assert root.duration == pytest.approx(1.5)
+        assert root.end is not None
+
+    def test_nesting_builds_a_tree(self, tracer, clock):
+        with tracer.span("step"):
+            with tracer.span("pressure"):
+                clock.advance(2.0)
+            with tracer.span("velocity"):
+                clock.advance(1.0)
+        (step,) = tracer.roots
+        assert [c.name for c in step.children] == ["pressure", "velocity"]
+        assert step.duration == pytest.approx(3.0)
+        assert step.children[0].parent is step
+        assert step.children[0].depth == 1
+
+    def test_self_time_excludes_children(self, tracer, clock):
+        with tracer.span("step"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(4.0)
+        (step,) = tracer.roots
+        assert step.self_time == pytest.approx(1.0)
+
+    def test_current_tracks_the_stack(self, tracer):
+        assert tracer.current is None
+        with tracer.span("a"):
+            assert tracer.current.name == "a"
+            with tracer.span("b"):
+                assert tracer.current.name == "b"
+            assert tracer.current.name == "a"
+        assert tracer.current is None
+
+    def test_span_closed_when_body_raises(self, tracer, clock):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (sp,) = tracer.roots
+        assert sp.end is not None
+        assert sp.duration == pytest.approx(1.0)
+        assert tracer.current is None
+
+    def test_tags_and_counters(self, tracer):
+        with tracer.span("solve", solver="cg") as sp:
+            tracer.add("iterations", 7)
+            tracer.add("iterations", 3)
+            tracer.set_tag("converged", True)
+        assert sp.tags == {"solver": "cg", "converged": True}
+        assert sp.counters == {"iterations": 10.0}
+
+    def test_add_at_top_level_is_a_noop(self, tracer):
+        tracer.add("orphan", 1)
+        tracer.set_tag("orphan", 1)
+        assert tracer.roots == []
+
+    def test_instant_event(self, tracer, clock):
+        with tracer.span("run"):
+            clock.advance(1.0)
+            ev = tracer.event("fault", step=3)
+        assert ev.instant
+        assert ev.duration == 0.0
+        assert ev.start == pytest.approx(1.0)
+        (run,) = tracer.roots
+        assert run.children == [ev]
+
+    def test_record_span_aggregate(self, tracer, clock):
+        with tracer.span("step"):
+            clock.advance(1.0)
+            sp = tracer.record_span("gather_scatter", 0.25, counters={"calls": 12})
+        assert sp.duration == pytest.approx(0.25)
+        assert sp.end == pytest.approx(1.0)
+        assert sp.counters == {"calls": 12}
+
+    def test_walk_and_spans_named(self, tracer, clock):
+        for _ in range(3):
+            with tracer.span("step"):
+                with tracer.span("pressure"):
+                    clock.advance(1.0)
+        assert len(tracer.spans_named("pressure")) == 3
+        assert tracer.total("pressure") == pytest.approx(3.0)
+        assert len(list(tracer.walk())) == 6
+
+    def test_aggregate_paths(self, tracer, clock):
+        for _ in range(2):
+            with tracer.span("step"):
+                with tracer.span("pressure"):
+                    clock.advance(1.5)
+        agg = tracer.aggregate()
+        assert agg["step"] == (pytest.approx(3.0), 2)
+        assert agg["step/pressure"] == (pytest.approx(3.0), 2)
+
+    def test_reset_drops_finished_spans(self, tracer, clock):
+        with tracer.span("old"):
+            clock.advance(1.0)
+        tracer.reset()
+        assert tracer.roots == []
+        assert list(tracer.walk()) == []
+
+
+class TestNullTracer:
+    def test_api_parity_all_noops(self):
+        nt = NullTracer()
+        with nt.span("x", tag=1) as sp:
+            sp.add("c", 1)
+            nt.add("c", 1)
+            nt.set_tag("t", 2)
+        nt.event("e")
+        nt.record_span("agg", 1.0)
+        assert list(nt.walk()) == []
+        assert nt.spans_named("x") == []
+        assert nt.total("x") == 0.0
+        assert nt.aggregate() == {}
+        assert not nt.enabled
+        nt.reset()
+
+    def test_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False

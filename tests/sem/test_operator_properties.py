@@ -1,0 +1,159 @@
+"""Property-based operator identities on random deformed elements.
+
+The batched-matmul kernels in ``repro.sem.operators`` contract specific
+axes of the ``(nelv, lz, ly, lx)`` layout; an axis mix-up produces fields
+that *look* plausible (right shape, right magnitude) but silently break
+the discrete identities the solvers rely on.  Hypothesis drives random
+smooth mesh deformations and random fields through three exact (up to
+roundoff) identities:
+
+* ``local_grad`` / ``local_grad_transpose`` adjointness under the plain
+  discrete inner product (the matrix-transpose property of the tensor
+  derivative);
+* ``weak_gradient`` / ``weak_gradient_transpose`` adjointness -- ``cdtp``
+  is by construction the discrete transpose of the weak gradient, the
+  property that makes the pressure operator symmetric;
+* ``ax_poisson`` symmetry, ``<u, A v> = <v, A u>``, on arbitrarily
+  deformed (positive-Jacobian) elements.
+
+The mesh deformation is a smooth global map applied to the corner
+vertices, so elements stay conforming and the Jacobian stays positive for
+the amplitudes drawn.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sem.mesh import box_mesh
+from repro.sem.operators import (
+    ax_poisson,
+    divergence,
+    local_grad,
+    local_grad_transpose,
+    weak_divergence,
+    weak_gradient,
+    weak_gradient_transpose,
+)
+from repro.sem.space import FunctionSpace
+
+# Deformation amplitude bound: displacement gradient ~ amplitude * pi stays
+# well below 1, keeping every element's Jacobian positive.
+MAX_AMPLITUDE = 0.05
+
+
+def deformed_space(seed: int, amplitude: float, lx: int = 4) -> FunctionSpace:
+    """A 2x2x2-element unit box with a random smooth deformation."""
+    mesh = box_mesh((2, 2, 2))
+    rng = np.random.default_rng(seed)
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=(3, 3))
+    cc = mesh.corner_coords
+    x, y, z = cc[..., 0].copy(), cc[..., 1].copy(), cc[..., 2].copy()
+    for d in range(3):
+        cc[..., d] += (
+            amplitude
+            * np.sin(np.pi * x + phases[d, 0])
+            * np.sin(np.pi * y + phases[d, 1])
+            * np.sin(np.pi * z + phases[d, 2])
+        )
+    space = FunctionSpace(mesh, lx)
+    assert np.all(space.coef.jac > 0.0), "deformation inverted an element"
+    return space
+
+
+def random_field(space: FunctionSpace, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=space.shape)
+
+
+def assert_adjoint(lhs: float, rhs: float) -> None:
+    scale = abs(lhs) + abs(rhs) + 1.0
+    assert abs(lhs - rhs) <= 1e-10 * scale, f"{lhs} != {rhs}"
+
+
+deformations = {
+    "seed": st.integers(0, 2**32 - 1),
+    "amplitude": st.floats(0.0, MAX_AMPLITUDE, allow_nan=False),
+}
+
+
+@settings(max_examples=15, deadline=None)
+@given(**deformations)
+def test_local_grad_transpose_is_the_adjoint(seed, amplitude):
+    """<D u, w> = <u, D^T w> under the plain elementwise inner product."""
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    u = random_field(space, rng)
+    wr, ws, wt = (random_field(space, rng) for _ in range(3))
+
+    ur, us, ut = local_grad(u, space.dx)
+    lhs = float(np.sum(ur * wr) + np.sum(us * ws) + np.sum(ut * wt))
+    rhs = float(np.sum(u * local_grad_transpose(wr, ws, wt, space.dx)))
+    assert_adjoint(lhs, rhs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(**deformations)
+def test_weak_gradient_transpose_consistency(seed, amplitude):
+    """``cdtp`` is the discrete transpose of the weak gradient.
+
+    <v, (phi, grad p)> = <p, (grad phi, v)> for all fields -- the identity
+    that couples the pressure gradient and the divergence constraint in
+    the splitting scheme.
+    """
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    p = random_field(space, rng)
+    vx, vy, vz = (random_field(space, rng) for _ in range(3))
+
+    gx, gy, gz = weak_gradient(p, space.coef, space.dx)
+    lhs = float(np.sum(vx * gx) + np.sum(vy * gy) + np.sum(vz * gz))
+    rhs = float(np.sum(p * weak_gradient_transpose(vx, vy, vz, space.coef, space.dx)))
+    assert_adjoint(lhs, rhs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(**deformations)
+def test_weak_divergence_is_mass_weighted_divergence(seed, amplitude):
+    """The collocated weak divergence is exactly ``B * div u``."""
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0xD1F)
+    vx, vy, vz = (random_field(space, rng) for _ in range(3))
+
+    weak = weak_divergence(vx, vy, vz, space.coef, space.dx)
+    strong = divergence(vx, vy, vz, space.coef, space.dx)
+    np.testing.assert_allclose(weak, space.coef.mass * strong, rtol=0, atol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(**deformations)
+def test_ax_poisson_symmetry(seed, amplitude):
+    """<u, A v> = <v, A u>: the stiffness matrix is symmetric on any
+    deformed element (G is symmetric, A = D^T G D)."""
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0xA11CE)
+    u = random_field(space, rng)
+    v = random_field(space, rng)
+
+    au = ax_poisson(u, space.coef, space.dx)
+    av = ax_poisson(v, space.coef, space.dx)
+    assert_adjoint(float(np.sum(u * av)), float(np.sum(v * au)))
+
+
+def test_deformed_space_actually_deforms():
+    """Guard the test fixture itself: a nonzero amplitude must move nodes."""
+    flat = deformed_space(0, 0.0)
+    bent = deformed_space(0, MAX_AMPLITUDE)
+    assert not np.allclose(flat.x, bent.x)
+
+
+def test_ax_poisson_positive_semidefinite_on_deformed_mesh():
+    """<u, A u> >= 0 with equality only for constants (deterministic spot
+    check complementing the randomized symmetry property)."""
+    space = deformed_space(7, 0.04)
+    rng = np.random.default_rng(7)
+    u = random_field(space, rng)
+    assert float(np.sum(u * ax_poisson(u, space.coef, space.dx))) > 0.0
+    const = np.ones(space.shape)
+    assert float(np.sum(const * ax_poisson(const, space.coef, space.dx))) == pytest.approx(
+        0.0, abs=1e-9
+    )
