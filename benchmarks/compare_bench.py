@@ -25,7 +25,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Comparison", "compare", "main"]
+__all__ = ["Comparison", "compare", "render_table", "main"]
 
 
 @dataclass
@@ -73,6 +73,41 @@ def compare(baseline: dict, candidate: dict, threshold: float = 0.3) -> list[Com
     return out
 
 
+def render_table(comparisons: list[Comparison], threshold: float) -> list[str]:
+    """Aligned per-entry summary table, printed on success and failure alike.
+
+    A green run that shows its numbers is reviewable; a green run that
+    prints nothing forces the reviewer to trust the exit code.
+    """
+    name_w = max([len(c.name) for c in comparisons] + [len("benchmark")])
+    header = (
+        f"  {'benchmark':<{name_w}s} {'baseline':>12s} {'candidate':>12s} "
+        f"{'ratio':>8s}  verdict"
+    )
+    lines = [header, "  " + "-" * (len(header) - 2)]
+    for c in comparisons:
+        base = f"{c.baseline_seconds * 1e3:9.3f} ms" if c.baseline_seconds is not None else "-"
+        cand = f"{c.candidate_seconds * 1e3:9.3f} ms" if c.candidate_seconds is not None else "-"
+        ratio = f"x{c.ratio:.3f}" if c.ratio is not None else "-"
+        if c.regressed:
+            verdict = "FAIL" if c.candidate_seconds is not None else "GONE"
+        elif c.baseline_seconds is None:
+            verdict = "NEW"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"  {c.name:<{name_w}s} {base:>12s} {cand:>12s} {ratio:>8s}  {verdict}"
+        )
+    measured = [c for c in comparisons if c.ratio is not None]
+    n_fail = sum(c.regressed for c in comparisons)
+    tail = f"  {len(comparisons)} entr{'y' if len(comparisons) == 1 else 'ies'}, {n_fail} regressed"
+    if measured:
+        worst = max(measured, key=lambda c: c.ratio)
+        tail += f"; worst ratio x{worst.ratio:.3f} ({worst.name})"
+    lines.append(tail)
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed BENCH_*.json baseline")
@@ -90,8 +125,8 @@ def main(argv=None) -> int:
     comparisons = compare(baseline, candidate, threshold=args.threshold)
 
     print(f"comparing {args.candidate} against {args.baseline} (threshold {args.threshold:.0%})")
-    for comp in comparisons:
-        print(comp.describe(args.threshold))
+    for line in render_table(comparisons, args.threshold):
+        print(line)
     regressed = [c for c in comparisons if c.regressed]
     if regressed:
         print(f"REGRESSION: {len(regressed)} entr{'y' if len(regressed) == 1 else 'ies'} "

@@ -8,7 +8,6 @@ figure illustrates, and extracts the AA cross-section data.
 """
 
 import numpy as np
-import pytest
 
 
 def test_fig1_convection_established(benchmark, cyl_sim, capsys):

@@ -21,7 +21,6 @@ from repro.analysis import (
     fit_power_law,
     local_exponents,
 )
-from repro.core import compute_nusselt
 
 
 @pytest.fixture(scope="module")

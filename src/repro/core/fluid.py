@@ -24,6 +24,11 @@ import numpy as np
 
 from repro.core.case import CaseConfig
 from repro.core.timers import RegionTimers
+from repro.observability.phases import (
+    PHASE_ADVECTION,
+    PHASE_PRESSURE,
+    PHASE_VELOCITY,
+)
 from repro.precond.hsmg import HybridSchwarzMultigrid
 from repro.precond.jacobi import JacobiPrecond
 from repro.sem.bc import BoundaryMask
@@ -201,7 +206,7 @@ class FluidScheme:
         dt = self.dt
         self._refresh_helmholtz(b0)
 
-        with self.timers.region("advection"):
+        with self.timers.region(PHASE_ADVECTION):
             fx = -self.convective_weak(self.u[0], c_fine) + forcing_weak[0]
             fy = -self.convective_weak(self.v[0], c_fine) + forcing_weak[1]
             fz = -self.convective_weak(self.w[0], c_fine) + forcing_weak[2]
@@ -218,7 +223,7 @@ class FluidScheme:
                     r += (bj / dt) * space.coef.mass * hist[j]
                 rhs.append(r)
 
-        with self.timers.region("pressure"):
+        with self.timers.region(PHASE_PRESSURE):
             # Incremental pressure correction: the predictor carries the
             # previous pressure gradient, the Poisson solve yields only the
             # increment dp (second-order splitting, and a much smaller
@@ -241,7 +246,7 @@ class FluidScheme:
             self.p = self.p + dp
             self._pressure_project(self.p)
 
-        with self.timers.region("velocity"):
+        with self.timers.region(PHASE_VELOCITY):
             px, py, pz = physical_grad(self.p, space.coef, space.dx)
             b = space.coef.mass
             mons = []

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.core.case import CaseConfig
 from repro.core.timers import RegionTimers
+from repro.observability.phases import PHASE_TEMPERATURE
 from repro.precond.jacobi import JacobiPrecond
 from repro.sem.bc import DirichletBC
 from repro.sem.dealias import Dealiaser
@@ -118,7 +119,7 @@ class ScalarScheme:
         dt = self.dt
         self._refresh(b0)
 
-        with self.timers.region("temperature"):
+        with self.timers.region(PHASE_TEMPERATURE):
             cx, cy, cz = velocity
             if self.dealiaser is not None:
                 adv = self.dealiaser.convect_weak(cx, cy, cz, self.t_hist[0], c_fine=c_fine)

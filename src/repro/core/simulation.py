@@ -21,6 +21,12 @@ from repro.core.scalar import ScalarScheme
 from repro.core.statistics import NusseltNumbers, compute_nusselt, reynolds_number
 from repro.core.timers import RegionTimers
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.phases import (
+    PHASE_GATHER_SCATTER,
+    PHASE_INSITU,
+    PHASE_STATISTICS,
+    PHASE_STEP,
+)
 from repro.observability.tracer import NULL_TRACER
 from repro.sem.space import FunctionSpace
 from repro.timeint.bdf_ext import TimeScheme
@@ -144,7 +150,7 @@ class Simulation:
         gs = self.space.gs
         gs_calls, gs_bytes, gs_seconds = gs.calls, gs.bytes_moved, gs.seconds
         t_step = _time.perf_counter()
-        with self.tracer.span("step", step=self.step_count + 1, sim_time=self.time):
+        with self.tracer.span(PHASE_STEP, step=self.step_count + 1, sim_time=self.time):
             b = self.space.coef.mass
             zeros = np.zeros(self.space.shape)
             # Buoyancy from the *current* temperature (explicit coupling).
@@ -180,7 +186,7 @@ class Simulation:
                 # calls; surface the per-step total as an aggregate phase
                 # span so the Fig. 4 taxonomy is complete in the trace.
                 self.tracer.record_span(
-                    "gather_scatter",
+                    PHASE_GATHER_SCATTER,
                     gs.seconds - gs_seconds,
                     counters={
                         "calls": gs.calls - gs_calls,
@@ -246,10 +252,10 @@ class Simulation:
             res = self.step()
             results.append(res)
             if stats_interval and self.step_count % stats_interval == 0:
-                with self.tracer.span("statistics", step=self.step_count):
+                with self.tracer.span(PHASE_STATISTICS, step=self.step_count):
                     self.sample_statistics()
             if callback_interval and self.step_count % callback_interval == 0:
-                with self.tracer.span("insitu", step=self.step_count):
+                with self.tracer.span(PHASE_INSITU, step=self.step_count):
                     for cb in self.callbacks:
                         cb(self)
             if print_interval and self.step_count % print_interval == 0:

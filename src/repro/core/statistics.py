@@ -19,6 +19,7 @@ import numpy as np
 from repro.sem.operators import physical_grad
 from repro.sem.quadrature import gll_points_weights
 from repro.sem.space import FunctionSpace
+from repro.statcheck.contracts import FIELD, contract
 
 __all__ = [
     "facet_integral",
@@ -141,6 +142,7 @@ class NusseltNumbers:
         return max(abs(v - m) for v in vals) / abs(m)
 
 
+@contract(uz=FIELD, temperature=FIELD)
 def compute_nusselt(
     space: FunctionSpace,
     uz: np.ndarray,
@@ -159,6 +161,7 @@ def compute_nusselt(
     )
 
 
+@contract(ux=FIELD, uy=FIELD, uz=FIELD)
 def reynolds_number(
     space: FunctionSpace,
     ux: np.ndarray,

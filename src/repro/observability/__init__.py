@@ -15,6 +15,13 @@ from repro.observability.export import (
     write_jsonl,
 )
 from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.phases import (
+    METRIC_PREFIXES,
+    PHASES,
+    SPAN_PREFIXES,
+    is_registered_metric,
+    is_registered_span,
+)
 from repro.observability.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 # The bridge module reaches into repro.resilience (whose package __init__
@@ -38,6 +45,11 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "PHASES",
+    "SPAN_PREFIXES",
+    "METRIC_PREFIXES",
+    "is_registered_span",
+    "is_registered_metric",
     "Span",
     "Tracer",
     "NullTracer",

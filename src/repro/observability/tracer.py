@@ -26,8 +26,40 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Protocol
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "TracerProtocol"]
+
+if TYPE_CHECKING:  # pragma: no cover
+
+    class TracerProtocol(Protocol):
+        """The tracer surface instrumented code relies on.
+
+        Both :class:`Tracer` and :class:`NullTracer` satisfy it; annotate
+        injected tracer attributes with this protocol so call sites stay
+        typed without coupling to either implementation.
+        """
+
+        enabled: bool
+
+        def span(self, name: str, **tags: Any) -> ContextManager[Any]: ...
+
+        def event(self, name: str, **tags: Any) -> Any: ...
+
+        def record_span(
+            self,
+            name: str,
+            duration: float,
+            counters: dict[str, float] | None = None,
+            **tags: Any,
+        ) -> Any: ...
+
+        def add(self, counter: str, value: float = 1.0) -> None: ...
+
+        def set_tag(self, key: str, value: Any) -> None: ...
+
+else:  # pragma: no cover - runtime placeholder so isinstance-free imports work
+    TracerProtocol = object
 
 
 @dataclass
@@ -46,7 +78,7 @@ class Span:
     end: float | None = None
     parent: "Span | None" = field(default=None, repr=False)
     children: list["Span"] = field(default_factory=list)
-    tags: dict = field(default_factory=dict)
+    tags: dict[str, Any] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     instant: bool = False
 
@@ -64,7 +96,7 @@ class Span:
         """Accumulate a numeric counter on this span."""
         self.counters[counter] = self.counters.get(counter, 0.0) + value
 
-    def walk(self):
+    def walk(self) -> Iterator["Span"]:
         """Depth-first iteration over this span and all descendants."""
         yield self
         for c in self.children:
@@ -93,7 +125,7 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock: Any = time.perf_counter) -> None:
         self._clock = clock
         self._origin = clock()
         self.roots: list[Span] = []
@@ -110,7 +142,7 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     @contextmanager
-    def span(self, name: str, **tags):
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
         """Open a child span of the current span (a root span at top level)."""
         sp = Span(name=name, start=self._now(), parent=self.current, tags=tags)
         if sp.parent is not None:
@@ -124,7 +156,7 @@ class Tracer:
             sp.end = self._now()
             self._stack.pop()
 
-    def event(self, name: str, **tags) -> Span:
+    def event(self, name: str, **tags: Any) -> Span:
         """Record a zero-duration instant event at the current position."""
         now = self._now()
         sp = Span(
@@ -137,7 +169,7 @@ class Tracer:
         return sp
 
     def record_span(
-        self, name: str, duration: float, counters: dict[str, float] | None = None, **tags
+        self, name: str, duration: float, counters: dict[str, float] | None = None, **tags: Any
     ) -> Span:
         """Record an *aggregate* span ending now with a known duration.
 
@@ -165,14 +197,14 @@ class Tracer:
         if self._stack:
             self._stack[-1].add(counter, value)
 
-    def set_tag(self, key: str, value) -> None:
+    def set_tag(self, key: str, value: Any) -> None:
         """Set a tag on the innermost open span (no-op at top level)."""
         if self._stack:
             self._stack[-1].tags[key] = value
 
     # -- queries -------------------------------------------------------------
 
-    def walk(self):
+    def walk(self) -> Iterator[Span]:
         """Depth-first iteration over every recorded span."""
         for r in self.roots:
             yield from r.walk()
@@ -213,9 +245,9 @@ class _NullSpan:
     __slots__ = ()
     duration = 0.0
     self_time = 0.0
-    children: list = []
-    counters: dict = {}
-    tags: dict = {}
+    children: list["_NullSpan"] = []
+    counters: dict[str, float] = {}
+    tags: dict[str, Any] = {}
     name = ""
 
     def add(self, counter: str, value: float = 1.0) -> None:
@@ -235,35 +267,37 @@ class NullTracer:
     """
 
     enabled = False
-    roots: list = []
+    roots: list[Span] = []
     current = None
 
     @contextmanager
-    def span(self, name: str, **tags):
+    def span(self, name: str, **tags: Any) -> Iterator[_NullSpan]:
         yield _NULL_SPAN
 
-    def event(self, name: str, **tags) -> _NullSpan:
+    def event(self, name: str, **tags: Any) -> _NullSpan:
         return _NULL_SPAN
 
-    def record_span(self, name: str, duration: float, counters=None, **tags) -> _NullSpan:
+    def record_span(
+        self, name: str, duration: float, counters: dict[str, float] | None = None, **tags: Any
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def add(self, counter: str, value: float = 1.0) -> None:
         pass
 
-    def set_tag(self, key: str, value) -> None:
+    def set_tag(self, key: str, value: Any) -> None:
         pass
 
-    def walk(self):
+    def walk(self) -> Iterator[Span]:
         return iter(())
 
-    def spans_named(self, name: str) -> list:
+    def spans_named(self, name: str) -> list[Span]:
         return []
 
     def total(self, name: str) -> float:
         return 0.0
 
-    def aggregate(self) -> dict:
+    def aggregate(self) -> dict[str, tuple[float, int]]:
         return {}
 
     def reset(self) -> None:

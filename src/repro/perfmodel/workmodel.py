@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.gpu.device import GpuModel
 from repro.perfmodel.network import NetworkModel
 

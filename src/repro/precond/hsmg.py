@@ -82,10 +82,12 @@ class HybridSchwarzMultigrid:
                 # Re-derive the mask on the mid space from the same labels is
                 # not possible here (labels are not stored); restrict by
                 # interpolating and thresholding instead.
+                # statcheck: ignore[backend-purity] -- constructor: levels built once per case
                 jm = lagrange_interpolation_matrix(np.asarray(mid_space.points), space.lx)
                 mid_mask = (interp3(mask, jm) > 0.999).astype(np.float64)
                 mid_mask = mid_space.gs.min(mid_mask)
             smoother = SchwarzSmoother(mid_space, mask=mid_mask)
+            # statcheck: ignore[backend-purity] -- constructor: levels built once per case
             j_m2f = lagrange_interpolation_matrix(np.asarray(fine_pts), lxm)
             self.mid_levels.append((mid_space, smoother, j_m2f))
 

@@ -92,8 +92,12 @@ class SchwarzSmoother:
         re = np.zeros((nelv, lxe, lxe, lxe))
         re[:, 1:-1, 1:-1, 1:-1] = r
 
+        # Scratch plane buffer hoisted out of the axis loop: this runs once
+        # per preconditioner application, so the smoother must not allocate
+        # per axis.
+        w = np.empty_like(r)
         for axis in (1, 2, 3):
-            w = np.zeros_like(r)
+            w.fill(0.0)
             lo = [slice(None)] * 4
             hi = [slice(None)] * 4
             lo_in = [slice(None)] * 4
@@ -128,6 +132,7 @@ class SchwarzSmoother:
         """
         gs = self.space.gs
         lx = z.shape[-1]
+        w = np.empty_like(z)  # scratch buffer shared across the axis loop
         for axis in (1, 2, 3):
             src_lo = [slice(None), slice(1, -1), slice(1, -1), slice(1, -1)]
             src_hi = [slice(None), slice(1, -1), slice(1, -1), slice(1, -1)]
@@ -140,7 +145,7 @@ class SchwarzSmoother:
                 plane[:, -1, :] = 0.0
                 plane[:, :, 0] = 0.0
                 plane[:, :, -1] = 0.0
-            w = np.zeros_like(z)
+            w.fill(0.0)
             lo = [slice(None)] * 4
             hi = [slice(None)] * 4
             lo_in = [slice(None)] * 4

@@ -302,8 +302,8 @@ def _butterfly_cross_section(
             xc, yc = circle_edge(u, ca, sa)
             return (1.0 - gl) * xs + gl * xc, (1.0 - gl) * ys + gl * yc
 
-        for l in range(n_ring):
-            g_in, g_out = g[l], g[l + 1]
+        for ring in range(n_ring):
+            g_in, g_out = g[ring], g[ring + 1]
             for i in range(n_square):
                 # The azimuthal parameter runs *backwards* in r so that the
                 # local (r, s) frame is right-handed (r x s = +z): s points
@@ -333,7 +333,7 @@ def _butterfly_cross_section(
                         c[cs, cr] = (float(xx), float(yy))
                 quads_corners.append(c)
                 quad_maps.append(qmap)
-                on_circle.append(l == n_ring - 1)
+                on_circle.append(ring == n_ring - 1)
 
     return quad_maps, np.stack(quads_corners), on_circle
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sem.coef import Coefficients, tensor_derivatives
+from repro.statcheck.contracts import FIELD, OPERATOR_1D, contract
 
 __all__ = [
     "local_grad",
@@ -57,6 +58,7 @@ def physical_grad(
     return dudx, dudy, dudz
 
 
+@contract(u=FIELD, dx=OPERATOR_1D, returns=FIELD)
 def ax_poisson(u: np.ndarray, coef: Coefficients, dx: np.ndarray) -> np.ndarray:
     """Local action of the stiffness matrix: ``w = A u`` (unassembled).
 
@@ -73,6 +75,7 @@ def ax_poisson(u: np.ndarray, coef: Coefficients, dx: np.ndarray) -> np.ndarray:
     return local_grad_transpose(wr, ws, wt, dx)
 
 
+@contract(u=FIELD, dx=OPERATOR_1D, returns=FIELD)
 def ax_helmholtz(
     u: np.ndarray,
     coef: Coefficients,

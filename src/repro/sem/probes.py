@@ -96,6 +96,17 @@ class FieldProbes:
             lj = lagrange_interpolation_matrix(np.array([ss]), lx)[0]
             lk = lagrange_interpolation_matrix(np.array([tt]), lx)[0]
             self._rows.append((li, lj, lk))
+        # Batched layout for evaluate(): stacked rows over the found probes,
+        # so one einsum evaluates every probe (the per-probe Python loop was
+        # the hot spot of in-situ sampling).
+        self._found_idx = np.flatnonzero(self.found)
+        if len(self._found_idx):
+            rows = [self._rows[ip] for ip in self._found_idx]
+            self._li = np.stack([r[0] for r in rows])
+            self._lj = np.stack([r[1] for r in rows])
+            self._lk = np.stack([r[2] for r in rows])
+        else:
+            self._li = self._lj = self._lk = np.zeros((0, lx))
 
     # -- geometry inversion -----------------------------------------------------
 
@@ -153,11 +164,15 @@ class FieldProbes:
         if field.shape != self.space.shape:
             raise ValueError(f"field shape {field.shape} != {self.space.shape}")
         out = np.full(self.points.shape[0], np.nan)
-        for ip, rows in enumerate(self._rows):
-            if rows is None:
-                continue
-            li, lj, lk = rows
-            out[ip] = np.einsum("k,j,i,kji->", lk, lj, li, field[self.element[ip]])
+        if len(self._found_idx):
+            vals = np.einsum(
+                "pk,pj,pi,pkji->p",
+                self._lk,
+                self._lj,
+                self._li,
+                field[self.element[self._found_idx]],
+            )
+            out[self._found_idx] = vals
         return out
 
     @property

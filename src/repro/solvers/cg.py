@@ -12,14 +12,21 @@ from __future__ import annotations
 from collections.abc import Callable
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.observability.tracer import NULL_TRACER
+from repro.observability.tracer import NULL_TRACER, TracerProtocol
 from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["ConjugateGradient"]
 
-Operator = Callable[[np.ndarray], np.ndarray]
-Dot = Callable[[np.ndarray, np.ndarray], float]
+FloatArray = npt.NDArray[np.float64]
+Operator = Callable[[FloatArray], FloatArray]
+Dot = Callable[[FloatArray, FloatArray], float]
+
+
+def _identity(r: FloatArray) -> FloatArray:
+    """Unpreconditioned default: ``M^{-1} = I``."""
+    return r
 
 
 class ConjugateGradient:
@@ -52,19 +59,21 @@ class ConjugateGradient:
         fixed_iterations: int | None = None,
         atol: float = 1e-30,
         name: str = "cg",
-        tracer=None,
+        tracer: TracerProtocol | None = None,
     ) -> None:
         self.amul = amul
         self.dot = dot
-        self.precond = precond if precond is not None else (lambda r: r)
+        self.precond: Operator = precond if precond is not None else _identity
         self.tol = tol
         self.atol = atol
         self.maxiter = maxiter
         self.fixed_iterations = fixed_iterations
         self.name = name
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer: TracerProtocol = tracer if tracer is not None else NULL_TRACER
 
-    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+    def solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]:
         """Solve ``A x = b``; returns the solution and a convergence monitor."""
         if not self.tracer.enabled:
             return self._solve(b, x0)
@@ -75,7 +84,9 @@ class ConjugateGradient:
             sp.tags["final_residual"] = mon.final_residual
             return x, mon
 
-    def _solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+    def _solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]:
         mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
         x = np.zeros_like(b) if x0 is None else x0.copy()
 

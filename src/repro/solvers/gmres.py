@@ -13,14 +13,26 @@ from __future__ import annotations
 from collections.abc import Callable
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.observability.tracer import NULL_TRACER
+from repro.observability.tracer import NULL_TRACER, TracerProtocol
 from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["Gmres"]
 
-Operator = Callable[[np.ndarray], np.ndarray]
-Dot = Callable[[np.ndarray, np.ndarray], float]
+FloatArray = npt.NDArray[np.float64]
+Operator = Callable[[FloatArray], FloatArray]
+Dot = Callable[[FloatArray, FloatArray], float]
+
+
+def _copy(r: FloatArray) -> FloatArray:
+    """Unpreconditioned default: ``M^{-1} = I`` (fresh copy, callers mutate)."""
+    return r.copy()
+
+
+def _no_projection(u: FloatArray) -> FloatArray:
+    """Default null-space projector: the problem is nonsingular."""
+    return u
 
 
 class Gmres:
@@ -47,26 +59,30 @@ class Gmres:
         tol: float = 1e-7,
         maxiter: int = 300,
         restart: int = 30,
-        project_out: Callable[[np.ndarray], np.ndarray] | None = None,
+        project_out: Callable[[FloatArray], FloatArray] | None = None,
         atol: float = 1e-30,
         name: str = "gmres",
-        tracer=None,
+        tracer: TracerProtocol | None = None,
     ) -> None:
         self.amul = amul
         self.dot = dot
-        self.precond = precond if precond is not None else (lambda r: r.copy())
+        self.precond: Operator = precond if precond is not None else _copy
         self.tol = tol
         self.atol = atol
         self.maxiter = maxiter
         self.restart = restart
-        self.project_out = project_out if project_out is not None else (lambda u: u)
+        self.project_out: Callable[[FloatArray], FloatArray] = (
+            project_out if project_out is not None else _no_projection
+        )
         self.name = name
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer: TracerProtocol = tracer if tracer is not None else NULL_TRACER
 
-    def _norm(self, u: np.ndarray) -> float:
+    def _norm(self, u: FloatArray) -> float:
         return float(np.sqrt(max(self.dot(u, u), 0.0)))
 
-    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+    def solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]:
         """Solve ``A x = b``; returns the solution and a convergence monitor."""
         if not self.tracer.enabled:
             return self._solve(b, x0)
@@ -77,7 +93,9 @@ class Gmres:
             sp.tags["final_residual"] = mon.final_residual
             return x, mon
 
-    def _solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+    def _solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]:
         mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
         b = self.project_out(b.copy())
         x = np.zeros_like(b) if x0 is None else x0.copy()
@@ -99,7 +117,7 @@ class Gmres:
             g[0] = beta
             cs = np.zeros(m)
             sn = np.zeros(m)
-            z_dirs: list[np.ndarray] = []
+            z_dirs: list[FloatArray] = []
             k_done = 0
 
             for k in range(m):

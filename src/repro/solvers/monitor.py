@@ -74,7 +74,7 @@ class IterationStreakTracker:
     streak: int = 3
     count: int = 0
 
-    def observe(self, solve, converged: bool = True) -> bool:
+    def observe(self, solve: "SolverMonitor | int", converged: bool = True) -> bool:
         """Record one solve; returns True when the distress streak trips."""
         if isinstance(solve, SolverMonitor):
             iterations, converged = solve.iterations, solve.converged

@@ -19,14 +19,21 @@ from __future__ import annotations
 from collections.abc import Callable
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.observability.tracer import NULL_TRACER
+from repro.observability.tracer import NULL_TRACER, TracerProtocol
 from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["PipelinedConjugateGradient"]
 
-Operator = Callable[[np.ndarray], np.ndarray]
-Dot = Callable[[np.ndarray, np.ndarray], float]
+FloatArray = npt.NDArray[np.float64]
+Operator = Callable[[FloatArray], FloatArray]
+Dot = Callable[[FloatArray, FloatArray], float]
+
+
+def _copy(r: FloatArray) -> FloatArray:
+    """Unpreconditioned default: ``M^{-1} = I`` (fresh copy, callers mutate)."""
+    return r.copy()
 
 
 class PipelinedConjugateGradient:
@@ -42,11 +49,11 @@ class PipelinedConjugateGradient:
         atol: float = 1e-30,
         replacement_interval: int = 50,
         name: str = "pipecg",
-        tracer=None,
+        tracer: TracerProtocol | None = None,
     ) -> None:
         self.amul = amul
         self.dot = dot
-        self.precond = precond if precond is not None else (lambda r: r.copy())
+        self.precond: Operator = precond if precond is not None else _copy
         self.tol = tol
         self.atol = atol
         self.maxiter = maxiter
@@ -55,11 +62,13 @@ class PipelinedConjugateGradient:
         # restores attainable accuracy (the standard Cools/Vanroose fix).
         self.replacement_interval = replacement_interval
         self.name = name
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer: TracerProtocol = tracer if tracer is not None else NULL_TRACER
         # Reduction accounting: fused (gamma, delta, ||r||) per iteration.
         self.reductions_per_iteration = 1
 
-    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+    def solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]:
         """Solve ``A x = b``; returns the solution and a monitor."""
         if not self.tracer.enabled:
             return self._solve(b, x0)
@@ -70,7 +79,9 @@ class PipelinedConjugateGradient:
             sp.tags["final_residual"] = mon.final_residual
             return x, mon
 
-    def _solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> tuple[np.ndarray, SolverMonitor]:
+    def _solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]:
         mon = SolverMonitor(tol=self.tol, atol=self.atol, name=self.name)
         x = np.zeros_like(b) if x0 is None else x0.copy()
         r = b - self.amul(x) if x0 is not None else b.copy()

@@ -10,10 +10,20 @@ the orthogonal complement -- the standard treatment in Neko/Nek5000.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Protocol
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["MeanProjector"]
+
+FloatArray = npt.NDArray[np.float64]
+
+
+class _HasMultiplicity(Protocol):
+    """The slice of the gather-scatter interface :meth:`MeanProjector.counting` needs."""
+
+    multiplicity: FloatArray
 
 
 class MeanProjector:
@@ -28,28 +38,28 @@ class MeanProjector:
         weights.
     """
 
-    def __init__(self, weight: np.ndarray) -> None:
+    def __init__(self, weight: FloatArray) -> None:
         self.weight = weight
         self.total = float(np.sum(weight))
         if self.total <= 0:
             raise ValueError("projection weight must have positive total")
 
-    def mean(self, u: np.ndarray) -> float:
+    def mean(self, u: FloatArray) -> float:
         """Weighted mean of ``u``."""
         return float(np.sum(u * self.weight)) / self.total
 
-    def __call__(self, u: np.ndarray) -> np.ndarray:
+    def __call__(self, u: FloatArray) -> FloatArray:
         """Remove the weighted mean from ``u`` in place; returns ``u``."""
         u -= self.mean(u)
         return u
 
     @classmethod
-    def identity(cls) -> Callable[[np.ndarray], np.ndarray]:
+    def identity(cls) -> Callable[[FloatArray], FloatArray]:
         """A no-op projector for non-singular problems."""
         return lambda u: u
 
     @classmethod
-    def counting(cls, gs) -> "MeanProjector":
+    def counting(cls, gs: _HasMultiplicity) -> "MeanProjector":
         """Projector against the constant over *unique* dofs.
 
         This is the correct compatibility projection for assembled

@@ -17,13 +17,29 @@ of its residual evaluation, or we compute here once).
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Protocol
 
 import numpy as np
+import numpy.typing as npt
+
+from repro.solvers.monitor import SolverMonitor
 
 __all__ = ["SolutionProjection"]
 
-Operator = Callable[[np.ndarray], np.ndarray]
-Dot = Callable[[np.ndarray, np.ndarray], float]
+FloatArray = npt.NDArray[np.float64]
+Operator = Callable[[FloatArray], FloatArray]
+Dot = Callable[[FloatArray, FloatArray], float]
+
+
+class _KrylovSolver(Protocol):
+    """The solver surface :meth:`SolutionProjection.solve_with` drives."""
+
+    tol: float
+    atol: float
+
+    def solve(
+        self, b: FloatArray, x0: FloatArray | None = None
+    ) -> tuple[FloatArray, SolverMonitor]: ...
 
 
 class SolutionProjection:
@@ -45,8 +61,8 @@ class SolutionProjection:
         self.amul = amul
         self.dot = dot
         self.max_dim = max_dim
-        self._x: list[np.ndarray] = []
-        self._ax: list[np.ndarray] = []
+        self._x: list[FloatArray] = []
+        self._ax: list[FloatArray] = []
         self.last_guess_norm_fraction = 0.0
 
     @property
@@ -57,7 +73,7 @@ class SolutionProjection:
         self._x.clear()
         self._ax.clear()
 
-    def initial_guess(self, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def initial_guess(self, b: FloatArray) -> tuple[FloatArray, FloatArray]:
         """Best guess in the stored space and the deflated right-hand side.
 
         Returns ``(x0, b - A x0)``; with an A-orthonormal basis the
@@ -73,12 +89,12 @@ class SolutionProjection:
             if alpha != 0.0:
                 x0 += alpha * xi
                 r -= alpha * axi
-        b_norm = np.sqrt(max(self.dot(b, b), 0.0))
-        r_norm = np.sqrt(max(self.dot(r, r), 0.0))
+        b_norm = float(np.sqrt(max(self.dot(b, b), 0.0)))
+        r_norm = float(np.sqrt(max(self.dot(r, r), 0.0)))
         self.last_guess_norm_fraction = 1.0 - r_norm / b_norm if b_norm > 0 else 0.0
         return x0, r
 
-    def update(self, dx: np.ndarray, adx: np.ndarray | None = None) -> None:
+    def update(self, dx: FloatArray, adx: FloatArray | None = None) -> None:
         """Fold the newly computed correction into the basis.
 
         ``dx`` is the solver's solution of the deflated problem; ``adx``
@@ -98,14 +114,16 @@ class SolutionProjection:
         scale2 = self.dot(dx, adx)
         if norm2 <= 0.0 or (scale2 > 0 and norm2 < 1e-24 * scale2):
             return
-        inv = 1.0 / np.sqrt(norm2)
+        inv = 1.0 / float(np.sqrt(norm2))
         self._x.append(d * inv)
         self._ax.append(ad * inv)
         if len(self._x) > self.max_dim:
             self._x.pop(0)
             self._ax.pop(0)
 
-    def solve_with(self, solver, b: np.ndarray):
+    def solve_with(
+        self, solver: _KrylovSolver, b: FloatArray
+    ) -> tuple[FloatArray, SolverMonitor]:
         """Deflate, solve the remainder, update the space.
 
         ``solver`` must expose ``solve(b, x0=None) -> (x, monitor)`` (the
@@ -118,7 +136,7 @@ class SolutionProjection:
         """
         x0, r = self.initial_guess(b)
         b_norm = float(np.sqrt(max(self.dot(b, b), 0.0)))
-        old_atol = getattr(solver, "atol", None)
+        old_atol: float | None = getattr(solver, "atol", None)
         if old_atol is not None:
             solver.atol = max(old_atol, solver.tol * b_norm)
         try:
@@ -131,15 +149,15 @@ class SolutionProjection:
 
     # -- checkpoint support ----------------------------------------------------
 
-    def state_arrays(self) -> dict[str, np.ndarray]:
+    def state_arrays(self) -> dict[str, FloatArray]:
         """Basis arrays for checkpointing."""
-        out: dict[str, np.ndarray] = {}
+        out: dict[str, FloatArray] = {}
         for i, (x, ax) in enumerate(zip(self._x, self._ax)):
             out[f"proj_x{i}"] = x
             out[f"proj_ax{i}"] = ax
         return out
 
-    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+    def load_state(self, arrays: dict[str, FloatArray]) -> None:
         """Restore the basis saved by :meth:`state_arrays`."""
         self.clear()
         i = 0

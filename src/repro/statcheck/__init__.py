@@ -1,0 +1,36 @@
+"""Domain-invariant static analysis and runtime array contracts.
+
+Two cross-checking layers guard the invariants the paper's claims rest
+on (performance portability through the device layer, bitwise-reproducible
+DNS, a closed span taxonomy):
+
+* the **linter** (``python -m repro.statcheck src/``) -- AST rules with
+  per-finding severities, inline ``# statcheck: ignore[RULE]``
+  suppressions and a committed count-based baseline
+  (``statcheck_baseline.json``) so pre-existing findings don't block CI
+  while new ones do;
+* the **contracts** (:mod:`repro.statcheck.contracts`) -- shape/dtype
+  specifications for the core ``(nelem, n, n, n)`` field layout, enforced
+  at call boundaries when enabled (the test suite turns them on; runs
+  default to zero-cost off).
+
+See README "Static analysis & contracts".
+"""
+
+from repro.statcheck.baseline import Baseline, partition_findings
+from repro.statcheck.engine import ModuleContext, check_paths, iter_python_files
+from repro.statcheck.finding import Finding, Severity
+from repro.statcheck.rules import ALL_RULES, Rule, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "check_paths",
+    "get_rules",
+    "iter_python_files",
+    "partition_findings",
+]

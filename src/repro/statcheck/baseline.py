@@ -1,0 +1,111 @@
+"""Committed baselines: pre-existing findings don't block, new ones do.
+
+A baseline is a JSON file mapping finding fingerprints to their counts at
+the time it was written (plus a human-readable locator per entry so the
+file reviews meaningfully in diffs).  The gate is count-based: a run
+fails when any fingerprint occurs *more often* than the baseline allows,
+so duplicating an offending line is caught even though its fingerprint is
+already known, while moving it around the file is not flagged.
+
+Stale entries (baselined findings that no longer occur) are reported so
+the baseline can be regenerated and ratcheted down; they never fail the
+run on their own.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.statcheck.finding import Finding
+
+__all__ = ["Baseline", "partition_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed count, with per-entry locators for humans."""
+
+    counts: dict[str, int]
+    entries: dict[str, dict[str, object]]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(counts={}, entries={})
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        entries: dict[str, dict[str, object]] = {}
+        for f in findings:
+            fp = f.fingerprint
+            counts[fp] = counts.get(fp, 0) + 1
+            entries.setdefault(
+                fp,
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                },
+            )
+        return cls(counts=counts, entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {data.get('version')!r} "
+                f"(expected {_VERSION}); regenerate with --write-baseline"
+            )
+        counts: dict[str, int] = {}
+        entries: dict[str, dict[str, object]] = {}
+        for fp, entry in data.get("findings", {}).items():
+            counts[fp] = int(entry.get("count", 1))
+            entries[fp] = {k: v for k, v in entry.items() if k != "count"}
+        return cls(counts=counts, entries=entries)
+
+    def write(self, path: Path) -> None:
+        findings = {
+            fp: {**self.entries.get(fp, {}), "count": n}
+            for fp, n in self.counts.items()
+        }
+        payload = {
+            "version": _VERSION,
+            "tool": "repro.statcheck",
+            "findings": dict(sorted(findings.items(), key=lambda kv: (
+                str(kv[1].get("path", "")), int(kv[1].get("line", 0)), kv[0]
+            ))),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+
+def partition_findings(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into ``(new, baselined, stale_fingerprints)``.
+
+    For a fingerprint occurring ``k`` times with allowance ``n``, the first
+    ``n`` occurrences (in location order) are baselined and the remaining
+    ``k - n`` are new.  Fingerprints allowed by the baseline but absent
+    from the run are returned as stale, so the baseline can be ratcheted.
+    """
+    remaining = dict(baseline.counts)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        fp = f.fingerprint
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    stale = sorted(fp for fp, n in remaining.items() if n > 0)
+    return new, old, stale

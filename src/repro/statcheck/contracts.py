@@ -1,0 +1,202 @@
+"""Runtime array contracts: shape/dtype checks at call boundaries.
+
+The counterpart of the static rules: where the linter proves properties
+of the *source*, contracts check the *values* crossing the seams of the
+solver.  The core currency of the codebase is the elementwise SEM field,
+a ``float64`` array of shape ``(nelem, n, n, n)``; a transposed or
+down-cast field does not fail loudly -- it produces slightly wrong
+physics.  Contracts make it fail loudly, at the boundary it crossed.
+
+Specs are declared with :class:`ArraySpec` and attached with the
+:func:`contract` decorator::
+
+    FIELD = ArraySpec("nelem,n,n,n")  # float64 by default
+
+    @contract(u=FIELD, dx=ArraySpec("n,n"), returns=FIELD)
+    def ax_poisson(u, coef, dx): ...
+
+Named dimensions bind on first use and must agree across every spec of
+the same call (so ``u`` of shape ``(8, 6, 6, 6)`` with ``dx`` of shape
+``(5, 5)`` is rejected: ``n`` bound to 6, then saw 5).  ``*`` matches any
+extent; an integer pins one.
+
+Checking is **off by default and free when off**: the wrapper costs one
+module-flag read per call, and the decorator returns the original
+function untouched when ``REPRO_CONTRACTS=0`` could never change (it
+cannot -- enabling is dynamic, so the wrapper is always installed, but
+the disabled path is a single ``if``).  The test suite enables contracts
+for every test (``tests/conftest.py``), which is how the static rules and
+the runtime layer cross-check each other: the linter keeps the seams
+disciplined, the contracts prove the discipline holds on real data.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ArraySpec",
+    "ContractViolation",
+    "contract",
+    "enable_contracts",
+    "contracts_enabled",
+    "FIELD",
+    "FIELD_LIKE",
+    "OPERATOR_1D",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ContractViolation(TypeError):
+    """An array crossed a call boundary with the wrong shape or dtype."""
+
+
+class _State:
+    enabled = os.environ.get("REPRO_CONTRACTS", "") not in ("", "0", "false", "off")
+
+
+def enable_contracts(on: bool = True) -> bool:
+    """Globally enable/disable contract checking; returns the previous state."""
+    prev = _State.enabled
+    _State.enabled = bool(on)
+    return prev
+
+
+def contracts_enabled() -> bool:
+    return _State.enabled
+
+
+class ArraySpec:
+    """Shape/dtype specification for one array argument.
+
+    ``dims`` is a comma-separated spec string (or an iterable): a name
+    binds that extent for the whole call, an integer pins it, ``*``
+    matches anything.  ``dtype=None`` skips the dtype check.
+    """
+
+    __slots__ = ("dims", "dtype", "_dtype_np")
+
+    def __init__(self, dims: str | tuple[object, ...], dtype: object = np.float64) -> None:
+        if isinstance(dims, str):
+            parts: list[object] = []
+            for raw in dims.split(","):
+                tok = raw.strip()
+                if not tok:
+                    raise ValueError(f"empty dimension in spec {dims!r}")
+                parts.append(int(tok) if tok.lstrip("-").isdigit() else tok)
+            self.dims = tuple(parts)
+        else:
+            self.dims = tuple(dims)
+        self.dtype = dtype
+        self._dtype_np = np.dtype(dtype) if dtype is not None else None
+
+    def __repr__(self) -> str:
+        dims = ",".join(str(d) for d in self.dims)
+        dt = self._dtype_np.name if self._dtype_np is not None else "any"
+        return f"ArraySpec({dims!r}, dtype={dt})"
+
+    def validate(
+        self, value: object, env: dict[str, int], where: str
+    ) -> None:
+        """Check ``value`` against this spec, binding named dims into ``env``."""
+        if not isinstance(value, np.ndarray):
+            raise ContractViolation(
+                f"{where}: expected ndarray of shape ({self._dims_text()}), "
+                f"got {type(value).__name__}"
+            )
+        if value.ndim != len(self.dims):
+            raise ContractViolation(
+                f"{where}: expected {len(self.dims)}-d array "
+                f"({self._dims_text()}), got shape {value.shape}"
+            )
+        if self._dtype_np is not None and value.dtype != self._dtype_np:
+            raise ContractViolation(
+                f"{where}: expected dtype {self._dtype_np.name}, "
+                f"got {value.dtype.name}"
+            )
+        for axis, (dim, extent) in enumerate(zip(self.dims, value.shape)):
+            if dim == "*":
+                continue
+            if isinstance(dim, int):
+                if extent != dim:
+                    raise ContractViolation(
+                        f"{where}: axis {axis} must have extent {dim}, "
+                        f"got {extent} (shape {value.shape})"
+                    )
+            else:
+                bound = env.setdefault(str(dim), extent)
+                if bound != extent:
+                    raise ContractViolation(
+                        f"{where}: axis {axis} ({dim}={extent}) conflicts with "
+                        f"{dim}={bound} bound earlier in this call "
+                        f"(shape {value.shape})"
+                    )
+
+    def _dims_text(self) -> str:
+        return ", ".join(str(d) for d in self.dims)
+
+
+#: The core elementwise SEM field layout: ``(nelem, n, n, n)`` float64.
+FIELD = ArraySpec("nelem,n,n,n")
+#: Field layout with any dtype (masks, index fields).
+FIELD_LIKE = ArraySpec("nelem,n,n,n", dtype=None)
+#: A 1-D tensor operator row space, e.g. the ``(n, n)`` derivative matrix.
+OPERATOR_1D = ArraySpec("n,n")
+
+
+def contract(
+    returns: ArraySpec | tuple[ArraySpec, ...] | None = None, **specs: ArraySpec
+) -> Callable[[F], F]:
+    """Attach array contracts to named parameters (and optionally the return).
+
+    ``returns`` may be one spec or a tuple of specs for tuple-returning
+    functions; it shares the dimension environment with the arguments, so
+    a function declared ``(u=FIELD, returns=FIELD)`` must return a field
+    of the *same* shape it was given.
+    """
+
+    def decorate(fn: F) -> F:
+        sig = inspect.signature(fn)
+        unknown = set(specs) - set(sig.parameters)
+        if unknown:
+            raise TypeError(
+                f"contract({', '.join(sorted(unknown))}) names parameters "
+                f"{fn.__qualname__} does not have"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _State.enabled:
+                return fn(*args, **kwargs)
+            bound = sig.bind_partial(*args, **kwargs)
+            env: dict[str, int] = {}
+            for name, spec in specs.items():
+                if name in bound.arguments:
+                    spec.validate(
+                        bound.arguments[name], env, f"{fn.__qualname__}({name})"
+                    )
+            result = fn(*args, **kwargs)
+            if returns is not None:
+                if isinstance(returns, tuple):
+                    if not isinstance(result, tuple) or len(result) != len(returns):
+                        raise ContractViolation(
+                            f"{fn.__qualname__}: expected a {len(returns)}-tuple "
+                            f"return, got {type(result).__name__}"
+                        )
+                    for i, (spec, value) in enumerate(zip(returns, result)):
+                        spec.validate(value, env, f"{fn.__qualname__}(return[{i}])")
+                else:
+                    returns.validate(result, env, f"{fn.__qualname__}(return)")
+            return result
+
+        wrapper.__contract_specs__ = dict(specs)  # type: ignore[attr-defined]
+        wrapper.__contract_returns__ = returns  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

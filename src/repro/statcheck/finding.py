@@ -1,0 +1,70 @@
+"""Finding and severity types shared by the statcheck engine and rules.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* deliberately ignores the line number: baselining by
+``(path, rule, source line text)`` keeps a committed baseline stable under
+unrelated edits that shift code up or down, while still distinguishing
+genuinely new occurrences (a second copy of the same offending line in the
+same file raises the fingerprint's count above the baselined count).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is by increasing seriousness."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative POSIX path
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    severity: Severity = Severity.WARNING
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: path + rule + normalized line text."""
+        key = f"{self.path}::{self.rule}::{self.source_line.strip()}"
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        """``path:line:col: severity [rule] message`` (editor-clickable)."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity.name.lower()} [{self.rule}] {self.message}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.name.lower(),
+            "fingerprint": self.fingerprint,
+        }

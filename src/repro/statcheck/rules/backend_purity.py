@@ -1,0 +1,68 @@
+"""backend-purity: hot-loop array math must go through the device layer.
+
+The paper's portability claim (one solver, CPU/CUDA/HIP backends) maps to
+this codebase as the :mod:`repro.backend` device registry: kernels that
+run inside loops should be expressed against the backend so the same code
+drives the CPU path, the instrumented path and the simulated-GPU path.
+A raw ``np.*`` call inside a ``for``/``while`` loop in the numerics
+packages bypasses that layer -- it pins the inner loop to host NumPy and
+becomes invisible to the launch-record instrumentation that calibrates
+the performance model.
+
+Vectorized ``np.*`` calls at *setup* time (mesh construction, operator
+factorization) are fine and common; only calls lexically inside loop
+bodies are flagged.  Pre-existing sites live in the committed baseline;
+genuinely setup-time loops should carry an explicit
+``# statcheck: ignore[backend-purity] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.engine import ModuleContext
+from repro.statcheck.finding import Finding, Severity
+from repro.statcheck.rules.base import Rule, attr_chain, enclosing_loops
+
+__all__ = ["BackendPurityRule"]
+
+#: Packages whose loops are considered kernel-adjacent.
+KERNEL_PACKAGES = ("sem", "gpu", "precond")
+
+#: ``np.<attr>`` calls that are bookkeeping, not array math.
+_ALLOWED = {"errstate", "seterr", "geterr", "get_printoptions", "set_printoptions"}
+
+
+class BackendPurityRule(Rule):
+    name = "backend-purity"
+    severity = Severity.WARNING
+    description = (
+        "np.* array math inside for/while loops in repro.sem / repro.gpu / "
+        "repro.precond must route through the backend registry (repro.backend)"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package(*KERNEL_PACKAGES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if parts[0] not in ("np", "numpy") or len(parts) < 2:
+                continue
+            if parts[1] in _ALLOWED:
+                continue
+            if not enclosing_loops(ctx, node):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"`{chain}()` inside a loop: route hot-loop array math through "
+                f"the backend registry (repro.backend), or mark the loop as "
+                f"setup-time with an explicit ignore",
+            )

@@ -14,8 +14,6 @@ are *added* to the right-hand side).
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = ["BDF_COEFFS", "EXT_COEFFS", "TimeScheme"]
 
 # BDF_COEFFS[k] = (b0, [b1, ..., bk]).

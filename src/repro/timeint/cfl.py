@@ -10,14 +10,18 @@ correct on deformed elements.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.sem.quadrature import gll_points_weights
 from repro.sem.space import FunctionSpace
+from repro.statcheck.contracts import FIELD, contract
 
 __all__ = ["courant_number", "max_stable_dt"]
 
+FloatArray = npt.NDArray[np.float64]
 
-def _reference_spacings(lx: int) -> np.ndarray:
+
+def _reference_spacings(lx: int) -> FloatArray:
     """Distance to the nearest GLL neighbour for each of the ``lx`` nodes."""
     x, _ = gll_points_weights(lx)
     x = np.asarray(x)
@@ -28,11 +32,12 @@ def _reference_spacings(lx: int) -> np.ndarray:
     return d
 
 
+@contract(ux=FIELD, uy=FIELD, uz=FIELD)
 def courant_number(
     space: FunctionSpace,
-    ux: np.ndarray,
-    uy: np.ndarray,
-    uz: np.ndarray,
+    ux: FloatArray,
+    uy: FloatArray,
+    uz: FloatArray,
     dt: float,
 ) -> float:
     """Maximum local Courant number ``dt * |u_ref| / d_ref``.
@@ -54,9 +59,9 @@ def courant_number(
 
 def max_stable_dt(
     space: FunctionSpace,
-    ux: np.ndarray,
-    uy: np.ndarray,
-    uz: np.ndarray,
+    ux: FloatArray,
+    uy: FloatArray,
+    uz: FloatArray,
     cfl_target: float = 0.5,
 ) -> float:
     """Largest ``dt`` keeping the Courant number below ``cfl_target``."""

@@ -18,13 +18,16 @@ With equal steps these reduce exactly to the classic tables (tested).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.timeint.bdf_ext import BDF_COEFFS, EXT_COEFFS
+from repro.timeint.bdf_ext import BDF_COEFFS
 
 __all__ = ["variable_bdf", "variable_ext", "VariableTimeScheme"]
 
+FloatArray = npt.NDArray[np.float64]
 
-def _lagrange_deriv_at(x0: float, nodes: np.ndarray) -> np.ndarray:
+
+def _lagrange_deriv_at(x0: float, nodes: FloatArray) -> FloatArray:
     """Derivative of each Lagrange cardinal function at ``x0``."""
     n = len(nodes)
     out = np.zeros(n)
@@ -34,16 +37,16 @@ def _lagrange_deriv_at(x0: float, nodes: np.ndarray) -> np.ndarray:
             if m == j:
                 continue
             prod = 1.0 / (nodes[j] - nodes[m])
-            for l in range(n):
-                if l in (j, m):
+            for q in range(n):
+                if q in (j, m):
                     continue
-                prod *= (x0 - nodes[l]) / (nodes[j] - nodes[l])
+                prod *= (x0 - nodes[q]) / (nodes[j] - nodes[q])
             total += prod
         out[j] = total
     return out
 
 
-def _lagrange_value_at(x0: float, nodes: np.ndarray) -> np.ndarray:
+def _lagrange_value_at(x0: float, nodes: FloatArray) -> FloatArray:
     """Value of each Lagrange cardinal function at ``x0``."""
     n = len(nodes)
     out = np.ones(n)
@@ -55,7 +58,7 @@ def _lagrange_value_at(x0: float, nodes: np.ndarray) -> np.ndarray:
     return out
 
 
-def _time_levels(dts: list[float]) -> np.ndarray:
+def _time_levels(dts: list[float]) -> FloatArray:
     taus = [0.0]
     acc = 0.0
     for dt in dts:

@@ -1,0 +1,17 @@
+"""Test-suite-wide configuration.
+
+Runtime array contracts are off by default in production runs (one flag
+check per call); the test suite runs with them enabled so every test
+doubles as a shape/dtype audit of the call boundaries it exercises.
+"""
+
+import pytest
+
+from repro.statcheck.contracts import enable_contracts
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _contracts_on():
+    prev = enable_contracts(True)
+    yield
+    enable_contracts(prev)

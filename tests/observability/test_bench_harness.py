@@ -79,6 +79,21 @@ class TestComparator:
         out = capsys.readouterr().out
         assert "REGRESSION" in out and "no regressions" in out
 
+    def test_summary_table_printed_even_on_success(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", make_record(ax=0.005, gs=0.0004))
+        cand = self._write(
+            tmp_path, "cand.json", make_record(ax=0.005, gs=0.0004, extra=0.001)
+        )
+        assert compare_main([base, cand]) == 0
+        out = capsys.readouterr().out
+        # Every entry appears in the table with its verdict, and the
+        # aggregate line reports counts and the worst ratio.
+        assert "benchmark" in out and "verdict" in out
+        assert "ax" in out and "gs" in out and "extra" in out
+        assert "NEW" in out
+        assert "3 entries, 0 regressed" in out
+        assert "worst ratio" in out
+
 
 class TestHarness:
     def test_environment_metadata(self):

@@ -15,13 +15,11 @@ from repro.observability import (
     MetricsRegistry,
     Tracer,
     text_report,
-    to_chrome_trace,
     write_chrome_trace,
 )
 from repro.observability.bridge import (
     TracedEventLog,
     publish_gather_scatter,
-    publish_traffic_stats,
     record_solver_monitor,
 )
 from repro.solvers.monitor import SolverMonitor

@@ -1,6 +1,5 @@
 """Tests for the machine, network and scaling models."""
 
-import numpy as np
 import pytest
 
 from repro.perfmodel import (

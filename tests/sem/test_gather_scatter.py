@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.sem.gather_scatter import GatherScatter, build_global_numbering
 from repro.sem.mesh import box_mesh, cylinder_mesh
-from repro.sem.space import FunctionSpace
 
 
 def make_gs(mesh, lx):

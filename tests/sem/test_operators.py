@@ -15,7 +15,6 @@ from repro.sem.operators import (
     local_grad_transpose,
     physical_grad,
     weak_divergence,
-    weak_gradient,
 )
 from repro.sem.space import FunctionSpace
 

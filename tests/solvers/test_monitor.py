@@ -6,7 +6,6 @@ exhaustion, streak resets) are load-bearing."""
 
 import math
 
-import pytest
 
 from repro.solvers.monitor import IterationStreakTracker, SolverMonitor
 

@@ -1,0 +1,13 @@
+"""Fixture: determinism violations.  Linted by tests, never imported."""
+
+import time
+
+import numpy as np
+
+
+def sample():
+    a = np.random.rand(4)  # finding: legacy global-state RNG
+    rng = np.random.default_rng()  # finding: unseeded generator
+    stamp = time.time()  # finding: wall-clock read
+    good = np.random.default_rng(1234)  # seeded: allowed
+    return a, rng, stamp, good

@@ -1,0 +1,10 @@
+"""Fixture: span-taxonomy violations.  Linted by tests, never imported."""
+
+
+def run(tracer, solver_name):
+    with tracer.span("pressure"):  # registered Fig. 4 phase: allowed
+        pass
+    with tracer.span("made_up_phase"):  # finding: not in the phase registry
+        pass
+    with tracer.span(f"krylov.{solver_name}"):  # registered dynamic prefix: allowed
+        pass

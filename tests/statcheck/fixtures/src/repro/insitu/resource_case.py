@@ -1,0 +1,14 @@
+"""Fixture: resource-discipline violations.  Linted by tests, never imported."""
+
+
+def read_header(path):
+    f = open(path)  # finding: open() outside a with-statement
+    try:
+        return f.readline()
+    except:  # noqa: E722  -- finding: bare except
+        return ""
+
+
+def read_safe(path):
+    with open(path) as f:  # context-managed: allowed
+        return f.read()

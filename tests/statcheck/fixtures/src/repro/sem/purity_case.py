@@ -1,0 +1,22 @@
+"""Fixture: backend-purity violations.  Linted by tests, never imported.
+
+The ``src/repro/sem`` layout below ``fixtures/`` makes the engine derive
+the module name ``repro.sem.purity_case`` so the kernel-package scoping
+of the rule applies exactly as it does to the real tree.
+"""
+
+import numpy as np
+
+
+def accumulate(fields):
+    total = 0.0
+    for f in fields:
+        total += np.sum(f)  # finding 1: raw numpy reduction in a hot loop
+        total += np.dot(f, f)  # finding 2: raw numpy kernel in a hot loop
+        total += np.multiply(f, f).sum()  # statcheck: ignore[backend-purity] -- fixture keep
+    return total
+
+
+def setup_once(fields):
+    # Outside any loop: not a finding (setup-time numpy is allowed).
+    return np.stack(fields)

@@ -1,0 +1,177 @@
+"""Runtime array contracts: specs, dimension binding, the decorator."""
+
+import numpy as np
+import pytest
+
+from repro.statcheck.contracts import (
+    FIELD,
+    OPERATOR_1D,
+    ArraySpec,
+    ContractViolation,
+    contract,
+    contracts_enabled,
+    enable_contracts,
+)
+
+
+def field(nelem=4, n=6, dtype=np.float64):
+    return np.zeros((nelem, n, n, n), dtype=dtype)
+
+
+class TestArraySpec:
+    def test_spec_string_parsing(self):
+        spec = ArraySpec("nelem, n, n, 3")
+        assert spec.dims == ("nelem", "n", "n", 3)
+
+    def test_star_matches_any_extent(self):
+        ArraySpec("*,*").validate(np.zeros((2, 99)), {}, "w")
+
+    def test_valid_field_passes_and_binds(self):
+        env = {}
+        FIELD.validate(field(nelem=5, n=7), env, "u")
+        assert env == {"nelem": 5, "n": 7}
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ContractViolation, match="4-d"):
+            FIELD.validate(np.zeros((4, 6, 6)), {}, "u")
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ContractViolation, match="float64"):
+            FIELD.validate(field(dtype=np.float32), {}, "u")
+
+    def test_not_an_array(self):
+        with pytest.raises(ContractViolation, match="ndarray"):
+            FIELD.validate([[1.0]], {}, "u")
+
+    def test_pinned_extent(self):
+        spec = ArraySpec("n,3")
+        spec.validate(np.zeros((5, 3)), {}, "x")
+        with pytest.raises(ContractViolation, match="extent 3"):
+            spec.validate(np.zeros((5, 4)), {}, "x")
+
+    def test_named_dim_conflict_across_specs(self):
+        env = {}
+        FIELD.validate(field(n=6), env, "u")
+        with pytest.raises(ContractViolation, match="n=5 .* n=6|conflicts"):
+            OPERATOR_1D.validate(np.zeros((5, 5)), env, "dx")
+
+
+class TestDecorator:
+    def test_passes_and_returns_value(self):
+        @contract(u=FIELD, returns=FIELD)
+        def double(u):
+            return 2.0 * u
+
+        prev = enable_contracts(True)
+        try:
+            out = double(field())
+            assert out.shape == field().shape
+        finally:
+            enable_contracts(prev)
+
+    def test_argument_violation(self):
+        @contract(u=FIELD)
+        def f(u):
+            return u
+
+        prev = enable_contracts(True)
+        try:
+            with pytest.raises(ContractViolation, match=r"f\(u\)"):
+                f(np.zeros((3, 3)))
+        finally:
+            enable_contracts(prev)
+
+    def test_return_shares_dimension_env(self):
+        @contract(u=FIELD, returns=FIELD)
+        def shrink(u):
+            return u[:, :-1, :-1, :-1].copy()  # breaks n binding
+
+        prev = enable_contracts(True)
+        try:
+            with pytest.raises(ContractViolation, match="return"):
+                shrink(field())
+        finally:
+            enable_contracts(prev)
+
+    def test_tuple_returns(self):
+        @contract(u=FIELD, returns=(FIELD, FIELD))
+        def split(u):
+            return u.copy(), u.copy()
+
+        @contract(u=FIELD, returns=(FIELD, FIELD))
+        def bad(u):
+            return (u.copy(),)
+
+        prev = enable_contracts(True)
+        try:
+            split(field())
+            with pytest.raises(ContractViolation, match="2-tuple"):
+                bad(field())
+        finally:
+            enable_contracts(prev)
+
+    def test_disabled_contracts_are_free(self):
+        calls = []
+
+        @contract(u=FIELD)
+        def f(u):
+            calls.append(1)
+            return u
+
+        prev = enable_contracts(False)
+        try:
+            assert not contracts_enabled()
+            f("not an array at all")  # no validation when off
+            assert calls == [1]
+        finally:
+            enable_contracts(prev)
+            assert contracts_enabled() == prev
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="nope"):
+
+            @contract(nope=FIELD)
+            def f(u):
+                return u
+
+    def test_kwargs_are_validated(self):
+        @contract(dx=OPERATOR_1D)
+        def apply_dx(u, dx=None):
+            return u
+
+        prev = enable_contracts(True)
+        try:
+            apply_dx(field(), dx=np.zeros((6, 6)))
+            with pytest.raises(ContractViolation):
+                apply_dx(field(), dx=np.zeros((6, 5)))
+        finally:
+            enable_contracts(prev)
+
+
+class TestWiredSeams:
+    """The decorated production functions reject malformed fields."""
+
+    @pytest.fixture(scope="class")
+    def space(self):
+        from repro.sem.mesh import box_mesh
+        from repro.sem.space import FunctionSpace
+
+        return FunctionSpace(box_mesh((2, 2, 2)), 4)
+
+    def test_courant_number_rejects_transposed_field(self, space):
+        from repro.timeint.cfl import courant_number
+
+        u = np.zeros(space.shape)
+        assert courant_number(space, u, u, u, 0.1) == 0.0
+        bad = np.zeros((space.shape[3], space.shape[1], space.shape[2], space.shape[0]))
+        assert bad.shape != space.shape
+        with pytest.raises(ContractViolation):
+            courant_number(space, bad, u, u, 0.1)
+
+    def test_ax_poisson_rejects_float32(self, space):
+        from repro.sem.basis import derivative_matrix
+        from repro.sem.operators import ax_poisson
+
+        dx = derivative_matrix(space.lx)
+        with pytest.raises(ContractViolation, match="float64"):
+            ax_poisson(np.zeros(space.shape, dtype=np.float32), space.coef, dx)
