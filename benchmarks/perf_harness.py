@@ -33,9 +33,17 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.comm import (
+    DistributedConjugateGradient,
+    DistributedGatherScatter,
+    SimWorld,
+    linear_partition,
+)
 from repro.core import Simulation, rbc_box_case
 from repro.core.timers import RegionTimers
 from repro.precond import FastDiagonalization, HybridSchwarzMultigrid
+from repro.precond.jacobi import helmholtz_diagonal
+from repro.sem.bc import DirichletBC
 from repro.sem.dealias import Dealiaser
 from repro.sem.mesh import box_mesh
 from repro.sem.operators import ax_helmholtz
@@ -45,6 +53,7 @@ __all__ = [
     "environment",
     "kernel_benchmarks",
     "step_benchmark",
+    "world_step_benchmark",
     "noop_tracer_overhead",
     "run_harness",
     "main",
@@ -200,6 +209,67 @@ def step_benchmark(
     return results
 
 
+def world_step_benchmark(
+    nranks: int = 4,
+    repeats: int = 3,
+    mesh: tuple[int, int, int] = (3, 2, 2),
+    lx: int = 5,
+) -> dict[str, dict]:
+    """Multi-rank timing: one distributed-CG Helmholtz solve on a
+    ``SimWorld(size=4)``, the executable stand-in for the paper's strong-
+    scaling step (Fig. 3).  Tracks the SPMD code path -- per-rank operator
+    application plus the two-phase gather--scatter -- so a regression in
+    the distributed layer shows up even though the world is simulated.
+    """
+    sp = FunctionSpace(box_mesh(mesh), lx)
+    bc = DirichletBC(sp, ["bottom", "top", "x-", "x+", "y-", "y+"], 0.0)
+    h1, h2 = 0.05, 20.0
+    rng = np.random.default_rng(0)
+    b = sp.gs.add(sp.coef.mass * rng.normal(size=sp.shape)) * bc.mask
+
+    world = SimWorld(nranks)
+    owner = linear_partition(sp.mesh.nelv, nranks)
+    dgs = DistributedGatherScatter(sp.gs.global_ids, owner, sp.shape, world)
+    coef_chunks = {
+        name: dgs.scatter_field(getattr(sp.coef, name))
+        for name in ("g11", "g22", "g33", "g12", "g13", "g23", "mass")
+    }
+
+    class _LocalCoef:
+        pass
+
+    def local_amul(r, chunk):
+        c = _LocalCoef()
+        for name, chunks in coef_chunks.items():
+            setattr(c, name, chunks[r])
+        return ax_helmholtz(chunk, c, sp.dx, h1, h2)
+
+    mask_chunks = dgs.scatter_field(bc.mask)
+    diag = sp.gs.add(helmholtz_diagonal(sp, h1, h2))
+    diag = np.where(bc.mask == 0.0, 1.0, diag)
+    pd = [d * m for d, m in zip(dgs.scatter_field(1.0 / diag), mask_chunks)]
+    solver = DistributedConjugateGradient(
+        local_amul, dgs, world, local_mask=mask_chunks, precond_diag=pd,
+        tol=1e-10, maxiter=400,
+    )
+    b_chunks = dgs.scatter_field(b)
+
+    # One counted solve pins the deterministic per-solve traffic.
+    world.stats.reset()
+    _, mon = solver.solve(b_chunks)
+    messages = world.stats.p2p_messages
+
+    seconds = _best_seconds(lambda: solver.solve(b_chunks), repeats=repeats, min_time=0.0)
+    return {
+        f"world{nranks}_dist_cg": {
+            "seconds": seconds,
+            "iterations": mon.iterations,
+            "ranks": nranks,
+            "p2p_messages_per_solve": messages,
+        }
+    }
+
+
 def run_harness(
     out_dir: Path, repeats: int = 5, n_steps: int = 5, warmup: int = 3
 ) -> tuple[Path, Path]:
@@ -218,11 +288,13 @@ def run_harness(
     kernels_path = out_dir / "BENCH_kernels.json"
     kernels_path.write_text(json.dumps(kernels, indent=2) + "\n")
 
+    step_results = step_benchmark(n_steps=n_steps, warmup=warmup)
+    step_results.update(world_step_benchmark(repeats=max(2, repeats - 2)))
     step = {
         "schema": SCHEMA_VERSION,
         "tier": "smoke",
         "environment": env,
-        "results": step_benchmark(n_steps=n_steps, warmup=warmup),
+        "results": step_results,
     }
     step_path = out_dir / "BENCH_step.json"
     step_path.write_text(json.dumps(step, indent=2) + "\n")

@@ -17,12 +17,13 @@ message was still sent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-if TYPE_CHECKING:  # avoid a runtime repro.resilience dependency
+if TYPE_CHECKING:  # avoid runtime repro.resilience / observability dependencies
+    from repro.observability.fleet.rank import FleetTelemetry
     from repro.resilience.faults import FaultInjector
 
 __all__ = ["SimWorld", "TrafficStats"]
@@ -30,13 +31,43 @@ __all__ = ["SimWorld", "TrafficStats"]
 
 @dataclass
 class TrafficStats:
-    """Counters of simulated network traffic."""
+    """Counters of simulated network traffic.
+
+    World totals plus per-rank send/receive accounting: the imbalance
+    analytics (:mod:`repro.observability.fleet.imbalance`) need to know
+    *which* rank moved the bytes, not just that the world did -- a
+    partition that concentrates shared faces on one rank shows up here
+    first.  The per-rank dicts are keyed by rank id and only hold ranks
+    that actually communicated.
+    """
 
     allreduce_calls: int = 0
     allreduce_bytes: int = 0
     p2p_messages: int = 0
     p2p_bytes: int = 0
     barrier_calls: int = 0
+    sent_messages: dict[int, int] = field(default_factory=dict)
+    sent_bytes: dict[int, int] = field(default_factory=dict)
+    recv_messages: dict[int, int] = field(default_factory=dict)
+    recv_bytes: dict[int, int] = field(default_factory=dict)
+
+    def record_p2p(self, src: int, dst: int, nbytes: int) -> None:
+        """Count one point-to-point message in both world and rank views."""
+        self.p2p_messages += 1
+        self.p2p_bytes += nbytes
+        self.sent_messages[src] = self.sent_messages.get(src, 0) + 1
+        self.sent_bytes[src] = self.sent_bytes.get(src, 0) + nbytes
+        self.recv_messages[dst] = self.recv_messages.get(dst, 0) + 1
+        self.recv_bytes[dst] = self.recv_bytes.get(dst, 0) + nbytes
+
+    def rank_totals(self, rank: int) -> dict[str, int]:
+        """One rank's traffic: sent/received messages and bytes."""
+        return {
+            "sent_messages": self.sent_messages.get(rank, 0),
+            "sent_bytes": self.sent_bytes.get(rank, 0),
+            "recv_messages": self.recv_messages.get(rank, 0),
+            "recv_bytes": self.recv_bytes.get(rank, 0),
+        }
 
     def reset(self) -> None:
         self.allreduce_calls = 0
@@ -44,17 +75,29 @@ class TrafficStats:
         self.p2p_messages = 0
         self.p2p_bytes = 0
         self.barrier_calls = 0
+        self.sent_messages.clear()
+        self.sent_bytes.clear()
+        self.recv_messages.clear()
+        self.recv_bytes.clear()
 
 
 class SimWorld:
     """N simulated ranks; collectives take per-rank data lists."""
 
-    def __init__(self, size: int, fault_injector: "FaultInjector | None" = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        fault_injector: "FaultInjector | None" = None,
+        fleet: "FleetTelemetry | None" = None,
+    ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.stats = TrafficStats()
         self.fault_injector = fault_injector
+        # Per-rank telemetry (repro.observability.fleet); also settable
+        # after construction via FleetTelemetry.attach(world).
+        self.fleet = fleet
 
     def _check(self, per_rank: list) -> None:
         if len(per_rank) != self.size:
@@ -111,8 +154,7 @@ class SimWorld:
             if not (0 <= src < self.size and 0 <= dst < self.size):
                 raise ValueError(f"invalid ranks in send ({src}->{dst})")
             if src != dst:
-                self.stats.p2p_messages += 1
-                self.stats.p2p_bytes += buf.nbytes
+                self.stats.record_p2p(src, dst, buf.nbytes)
             delivered = buf
             if self.fault_injector is not None:
                 delivered = self.fault_injector.deliver(src, dst, buf)
@@ -150,9 +192,9 @@ class SimWorld:
         for rank, value in enumerate(values):
             if rank == root:
                 continue
-            self.stats.p2p_messages += 1
             try:
-                self.stats.p2p_bytes += np.asarray(value).nbytes
+                nbytes = int(np.asarray(value).nbytes)
             except (TypeError, ValueError):
-                pass  # non-numeric payloads count as messages only
+                nbytes = 0  # non-numeric payloads count as messages only
+            self.stats.record_p2p(rank, root, nbytes)
         return list(values)

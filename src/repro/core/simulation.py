@@ -64,7 +64,9 @@ class StatSample:
 class Simulation:
     """A Boussinesq RBC simulation assembled from a :class:`CaseConfig`."""
 
-    def __init__(self, config: CaseConfig, tracer=None, metrics=None) -> None:
+    def __init__(
+        self, config: CaseConfig, tracer=None, metrics=None, anomalies=None, flight=None
+    ) -> None:
         config.validate()
         self.config = config
         self.space = FunctionSpace(config.mesh, config.lx)
@@ -76,6 +78,15 @@ class Simulation:
         # gather_scatter, insitu (see EXPERIMENTS.md).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Optional crash flight recorder and online anomaly detection
+        # (repro.observability.fleet); both are no-cost when absent.  An
+        # anomaly monitor without its own flight sink inherits ours, so a
+        # flagged anomaly lands in the crash bundle's event tail.
+        self.flight = flight
+        self.anomalies = anomalies
+        if anomalies is not None and flight is not None and anomalies.flight is None:
+            anomalies.flight = flight
+        self._last_step_seconds = 0.0
         self.timers = RegionTimers(tracer=self.tracer)
         self.adaptive = config.adaptive_cfl is not None
         self.scheme = (
@@ -193,9 +204,9 @@ class Simulation:
                         "bytes": gs.bytes_moved - gs_bytes,
                     },
                 )
-        self._record_step_metrics(
-            result, _time.perf_counter() - t_step, gs_calls, gs_bytes, gs_seconds
-        )
+        step_seconds = _time.perf_counter() - t_step
+        self._last_step_seconds = step_seconds
+        self._record_step_metrics(result, step_seconds, gs_calls, gs_bytes, gs_seconds)
         self.history.append(result)
         self.last_cfl = (result.cfl, result.dt)
         return result
@@ -251,6 +262,10 @@ class Simulation:
                 break
             res = self.step()
             results.append(res)
+            if self.flight is not None:
+                self.flight.record_step(self, res)
+            if self.anomalies is not None:
+                self.anomalies.observe_step(self, res, step_seconds=self._last_step_seconds)
             if stats_interval and self.step_count % stats_interval == 0:
                 with self.tracer.span(PHASE_STATISTICS, step=self.step_count):
                     self.sample_statistics()
@@ -265,10 +280,22 @@ class Simulation:
                 )
             quantity = self._nonfinite_quantity(res)
             if quantity is not None:
-                raise FloatingPointError(
+                message = (
                     f"simulation diverged at step {res.step} (t = {res.time:.4f}): "
                     f"{quantity} is not finite; CFL was {res.cfl:.2f} -- reduce dt"
                 )
+                if self.flight is not None:
+                    # Dump the black box *before* raising: the exception may
+                    # be swallowed by a resilient driver that rolls back.
+                    self.flight.record_event(
+                        "flight.divergence",
+                        step=res.step,
+                        time=res.time,
+                        detail=message,
+                        quantity=quantity,
+                    )
+                    self.flight.dump(reason="divergence")
+                raise FloatingPointError(message)
         return results
 
     def _nonfinite_quantity(self, res: StepResult) -> str | None:

@@ -23,6 +23,20 @@ from repro.observability.phases import (
     is_registered_span,
 )
 from repro.observability.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.observability.fleet import (
+    Anomaly,
+    AnomalyMonitor,
+    EwmaDetector,
+    FleetTelemetry,
+    FlightBundle,
+    FlightRecorder,
+    ImbalanceReport,
+    RankTracer,
+    analyze_fleet,
+    analyze_totals,
+    merge_trace_files,
+    merge_traces,
+)
 
 # The bridge module reaches into repro.resilience (whose package __init__
 # reaches back into repro.core); importing it eagerly here would close an
@@ -68,4 +82,16 @@ __all__ = [
     "publish_pipeline_stats",
     "publish_traffic_stats",
     "publish_gather_scatter",
+    "FleetTelemetry",
+    "RankTracer",
+    "merge_traces",
+    "merge_trace_files",
+    "ImbalanceReport",
+    "analyze_fleet",
+    "analyze_totals",
+    "FlightRecorder",
+    "FlightBundle",
+    "Anomaly",
+    "AnomalyMonitor",
+    "EwmaDetector",
 ]

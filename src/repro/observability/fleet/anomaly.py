@@ -1,0 +1,244 @@
+"""Online anomaly detection: EWMA/z-score detectors over run telemetry.
+
+A production campaign cannot wait for a post-hoc trace read to notice that
+the pressure solve started taking 3x its usual iterations -- the paper's
+Fig. 4 shows pressure already owns > 85 % of the step, so a sustained
+iteration spike is the early warning of a dying run.  Detectors here
+maintain an exponentially weighted moving average and variance per series
+(Krylov iteration counts, step wall time, CFL, in-situ queue depth) and
+flag observations whose z-score against the running statistics exceeds a
+threshold.  A flagged :class:`Anomaly` is mirrored everywhere an operator
+might look:
+
+* an ``anomaly.<series>`` instant event on the tracer (visible in the
+  Chrome-trace export, on the timeline where it happened);
+* an ``anomaly.<series>`` counter in the metrics registry;
+* an ``anomaly.<series>`` entry in the resilience
+  :class:`~repro.resilience.events.EventLog`, so
+  :class:`~repro.resilience.health.HealthCheck`-driven tooling and the
+  flight recorder see it too.
+
+Everything is pure arithmetic on observed values -- no wall-clock reads,
+no RNG -- so detection is deterministic given the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.observability.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.fleet.flight import FlightRecorder
+
+__all__ = ["Anomaly", "EwmaDetector", "AnomalyMonitor"]
+
+
+@dataclass
+class Anomaly:
+    """One flagged observation with the statistics that flagged it."""
+
+    series: str
+    value: float
+    mean: float
+    std: float
+    zscore: float
+    step: int = -1
+
+    def as_record(self) -> dict:
+        return {
+            "series": self.series,
+            "value": self.value,
+            "mean": self.mean,
+            "std": self.std,
+            "zscore": self.zscore,
+            "step": self.step,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.series}: {self.value:g} vs EWMA {self.mean:g} "
+            f"(z = {self.zscore:.1f})"
+        )
+
+
+class EwmaDetector:
+    """EWMA mean/variance tracker flagging high-z observations.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA weight of the newest observation (0.25 tracks a ~7-step
+        effective window).
+    z_threshold:
+        Flag when ``|x - mean| / std`` meets or exceeds this.
+    warmup:
+        Observations absorbed before any flagging -- the statistics of the
+        first few steps of a run (transient CFL growth, solver settling)
+        are not a baseline.
+    min_std, rel_floor:
+        The denominator is floored at ``max(min_std, rel_floor * |mean|)``
+        so near-constant series (a solver pinned at 8 iterations) flag
+        genuine spikes without flagging +-1 jitter.
+    """
+
+    def __init__(
+        self,
+        series: str,
+        alpha: float = 0.25,
+        z_threshold: float = 4.0,
+        warmup: int = 8,
+        min_std: float = 1e-12,
+        rel_floor: float = 0.1,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.series = series
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.min_std = min_std
+        self.rel_floor = rel_floor
+        self.mean = math.nan
+        self.var = 0.0
+        self.observations = 0
+
+    def observe(self, value: float, step: int = -1) -> Anomaly | None:
+        """Feed one observation; returns an :class:`Anomaly` if it flags.
+
+        The running statistics always absorb the observation (after the
+        z-test), so a level *shift* flags once and then becomes the new
+        normal instead of alarming forever.
+        """
+        v = float(value)
+        anomaly = None
+        if self.observations == 0:
+            self.mean, self.var = v, 0.0
+        else:
+            if self.observations >= self.warmup:
+                std = max(math.sqrt(max(self.var, 0.0)), self.min_std,
+                          self.rel_floor * abs(self.mean))
+                z = abs(v - self.mean) / std
+                if z >= self.z_threshold:
+                    anomaly = Anomaly(
+                        series=self.series,
+                        value=v,
+                        mean=self.mean,
+                        std=std,
+                        zscore=z,
+                        step=step,
+                    )
+            diff = v - self.mean
+            incr = self.alpha * diff
+            self.mean += incr
+            self.var = (1.0 - self.alpha) * (self.var + diff * incr)
+        self.observations += 1
+        return anomaly
+
+
+class AnomalyMonitor:
+    """A set of lazily created detectors with unified reporting.
+
+    Construct once per run with the run's tracer / metrics / resilience
+    event log, hand it to :class:`~repro.core.simulation.Simulation`
+    (``anomalies=``) and the in-situ pipeline (``anomalies=``); every
+    flagged observation is mirrored into all attached sinks and kept in
+    :attr:`anomalies` for direct assertion.
+    """
+
+    #: Series observed per step from a :class:`StepResult` by
+    #: :meth:`observe_step` (name, attribute).
+    STEP_SERIES: tuple[tuple[str, str], ...] = (
+        ("krylov.pressure.iterations", "pressure_iterations"),
+        ("krylov.velocity.iterations", "velocity_iterations"),
+        ("krylov.temperature.iterations", "temperature_iterations"),
+        ("cfl", "cfl"),
+    )
+
+    def __init__(
+        self,
+        tracer: Any = None,
+        metrics: "MetricsRegistry | None" = None,
+        event_log: Any = None,
+        flight: "FlightRecorder | None" = None,
+        alpha: float = 0.25,
+        z_threshold: float = 4.0,
+        warmup: int = 8,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.event_log = event_log
+        self.flight = flight
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.detectors: dict[str, EwmaDetector] = {}
+        self.anomalies: list[Anomaly] = []
+
+    def detector(self, series: str) -> EwmaDetector:
+        """The detector for ``series``, created on first use."""
+        det = self.detectors.get(series)
+        if det is None:
+            det = EwmaDetector(
+                series,
+                alpha=self.alpha,
+                z_threshold=self.z_threshold,
+                warmup=self.warmup,
+            )
+            self.detectors[series] = det
+        return det
+
+    def observe(self, series: str, value: float, step: int = -1) -> Anomaly | None:
+        """Feed one observation; mirror any flagged anomaly everywhere."""
+        anomaly = self.detector(series).observe(value, step=step)
+        if anomaly is None:
+            return None
+        self.anomalies.append(anomaly)
+        record = anomaly.as_record()
+        self.tracer.event(f"anomaly.{series}", cat="anomaly", **record)
+        data = dict(record)
+        data.pop("step", None)  # passed positionally below
+        if self.metrics is not None:
+            self.metrics.counter(f"anomaly.{series}").inc()
+        if self.event_log is not None:
+            self.event_log.record(
+                f"anomaly.{series}", step=step, detail=anomaly.describe(), **data
+            )
+        if self.flight is not None:
+            self.flight.record_event(
+                f"anomaly.{series}", step=step, detail=anomaly.describe(), **data
+            )
+        return anomaly
+
+    def observe_step(self, sim: Any, result: Any, step_seconds: float | None = None) -> list[Anomaly]:
+        """Feed every per-step series from one :class:`StepResult`.
+
+        Watches the Krylov iteration counts, the CFL, the measured step
+        wall time (when given) and -- when the simulation's metrics
+        registry carries the pipeline's ``insitu.queue_depth`` gauge --
+        the in-situ backlog.  Returns the newly flagged anomalies.
+        """
+        step = int(getattr(result, "step", -1))
+        flagged: list[Anomaly] = []
+        for series, attr in self.STEP_SERIES:
+            value = getattr(result, attr, None)
+            if value is None:
+                continue
+            a = self.observe(series, float(value), step=step)
+            if a is not None:
+                flagged.append(a)
+        if step_seconds is not None:
+            a = self.observe("step.seconds", float(step_seconds), step=step)
+            if a is not None:
+                flagged.append(a)
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None and "insitu.queue_depth" in metrics:
+            depth = metrics.gauge("insitu.queue_depth").value
+            if not math.isnan(depth):
+                a = self.observe("insitu.queue_depth", depth, step=step)
+                if a is not None:
+                    flagged.append(a)
+        return flagged

@@ -1,0 +1,195 @@
+"""Load-imbalance analytics over per-rank phase timings.
+
+Strong scaling dies by imbalance: Fig. 3's efficiency loss at 16,384 GCDs
+is, per Offermans et al., exactly the gap between the mean and the max of
+the per-rank phase times -- every collective waits for the slowest rank.
+This module turns a :class:`~repro.observability.fleet.rank.FleetTelemetry`
+(or a plain ``{rank: {phase: seconds}}`` mapping, e.g. reconstructed from
+a merged trace file by the CLI) into the Fig. 4-style per-rank breakdown:
+
+* per-phase **max/mean/min** across ranks and the **straggler** rank;
+* the **imbalance factor** ``max / mean`` (1.0 = perfectly balanced);
+* each phase's **critical-path share** -- its max-across-ranks time as a
+  fraction of the summed per-phase critical path;
+* a **parallel-efficiency estimate** ``sum(mean) / sum(max)`` -- the
+  fraction of the critical path doing average work, directly comparable
+  to :class:`repro.perfmodel.scaling.ScalingPoint.parallel_efficiency`
+  (both are 1.0 for perfect balance and degrade with stragglers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.fleet.rank import FleetTelemetry
+    from repro.observability.tracer import Tracer
+
+__all__ = [
+    "PhaseImbalance",
+    "ImbalanceReport",
+    "phase_totals",
+    "analyze_fleet",
+    "analyze_totals",
+]
+
+
+@dataclass
+class PhaseImbalance:
+    """Cross-rank statistics of one phase (one span-name family)."""
+
+    name: str
+    per_rank: dict[int, float]
+    calls: int = 0
+    critical_path_share: float = math.nan
+
+    @property
+    def max_seconds(self) -> float:
+        return max(self.per_rank.values()) if self.per_rank else math.nan
+
+    @property
+    def min_seconds(self) -> float:
+        return min(self.per_rank.values()) if self.per_rank else math.nan
+
+    @property
+    def mean_seconds(self) -> float:
+        vals = list(self.per_rank.values())
+        return sum(vals) / len(vals) if vals else math.nan
+
+    @property
+    def straggler(self) -> int:
+        """Rank with the largest total (lowest rank wins ties)."""
+        if not self.per_rank:
+            return -1
+        return min(self.per_rank, key=lambda r: (-self.per_rank[r], r))
+
+    @property
+    def imbalance(self) -> float:
+        """``max / mean`` across ranks; 1.0 means perfectly balanced."""
+        mean = self.mean_seconds
+        return self.max_seconds / mean if mean > 0 else math.nan
+
+
+@dataclass
+class ImbalanceReport:
+    """Per-phase imbalance table plus fleet-level summary numbers."""
+
+    phases: list[PhaseImbalance] = field(default_factory=list)
+    n_ranks: int = 0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``sum(mean) / sum(max)`` over phases.
+
+        The fraction of the critical path (every phase waits for its
+        slowest rank) that average-rank work accounts for; comparable to
+        the model-side ``ScalingPoint.parallel_efficiency``.
+        """
+        tot_max = sum(p.max_seconds for p in self.phases)
+        tot_mean = sum(p.mean_seconds for p in self.phases)
+        return tot_mean / tot_max if tot_max > 0 else math.nan
+
+    def phase(self, name: str) -> PhaseImbalance:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase {name!r} in the report")
+
+    def straggler_counts(self) -> dict[int, int]:
+        """``{rank: number of phases it straggles}`` (worst rank first)."""
+        counts: dict[int, int] = {}
+        for p in self.phases:
+            if p.per_rank:
+                counts[p.straggler] = counts.get(p.straggler, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def render(self) -> str:
+        """Fig. 4-style text table: per-rank seconds plus imbalance stats."""
+        lines = [f"== per-rank phase breakdown ({self.n_ranks} ranks) =="]
+        if not self.phases:
+            lines.append("(no per-rank spans recorded)")
+            return "\n".join(lines)
+        name_w = max(len(p.name) for p in self.phases)
+        name_w = max(name_w, len("phase"))
+        rank_cols = "".join(f"{'r' + str(r):>10s}" for r in range(self.n_ranks))
+        lines.append(
+            f"{'phase':<{name_w}s}{rank_cols}{'max':>10s}{'mean':>10s}{'min':>10s}"
+            f"{'imbal':>7s}{'strag':>6s}{'cp%':>6s}"
+        )
+        for p in self.phases:
+            per_rank = "".join(
+                f"{p.per_rank.get(r, 0.0):>10.4f}" for r in range(self.n_ranks)
+            )
+            lines.append(
+                f"{p.name:<{name_w}s}{per_rank}"
+                f"{p.max_seconds:>10.4f}{p.mean_seconds:>10.4f}{p.min_seconds:>10.4f}"
+                f"{p.imbalance:>7.2f}{p.straggler:>6d}"
+                f"{100.0 * p.critical_path_share:>6.1f}"
+            )
+        lines.append(
+            f"parallel efficiency (sum mean / sum max): "
+            f"{100.0 * self.parallel_efficiency:.1f}%"
+        )
+        stragglers = self.straggler_counts()
+        if stragglers:
+            worst, n = next(iter(stragglers.items()))
+            lines.append(f"worst straggler: rank {worst} ({n}/{len(self.phases)} phases)")
+        return "\n".join(lines)
+
+
+def phase_totals(tracer: "Tracer") -> dict[str, tuple[float, int]]:
+    """``{span name: (total seconds, count)}`` over one rank's spans.
+
+    Grouping is by *name* (not path): the fleet's per-rank spans are flat
+    aggregates, and a phase's identity is its registered name.  Instant
+    events carry no duration and are skipped.
+    """
+    totals: dict[str, tuple[float, int]] = {}
+    for span in tracer.walk():
+        if span.instant or span.end is None:
+            continue
+        tot, cnt = totals.get(span.name, (0.0, 0))
+        totals[span.name] = (tot + span.duration, cnt + 1)
+    return totals
+
+
+def analyze_fleet(fleet: "FleetTelemetry") -> ImbalanceReport:
+    """Imbalance report over every span name recorded by any rank."""
+    per_rank: dict[int, dict[str, float]] = {}
+    calls: dict[str, int] = {}
+    for rt in fleet:
+        totals = phase_totals(rt.tracer)
+        per_rank[rt.rank] = {name: sec for name, (sec, _cnt) in totals.items()}
+        for name, (_sec, cnt) in totals.items():
+            calls[name] = calls.get(name, 0) + cnt
+    report = analyze_totals(per_rank, n_ranks=fleet.size)
+    for p in report.phases:
+        p.calls = calls.get(p.name, 0)
+    return report
+
+
+def analyze_totals(
+    per_rank: dict[int, dict[str, float]], n_ranks: int | None = None
+) -> ImbalanceReport:
+    """Imbalance report from plain ``{rank: {phase: seconds}}`` totals.
+
+    Ranks missing a phase count as 0.0 seconds for it -- a rank that never
+    entered a phase *is* the imbalance story, not a gap in the data.
+    """
+    ranks = sorted(per_rank)
+    size = n_ranks if n_ranks is not None else (max(ranks) + 1 if ranks else 0)
+    names = sorted({name for totals in per_rank.values() for name in totals})
+    phases = [
+        PhaseImbalance(
+            name=name,
+            per_rank={r: float(per_rank.get(r, {}).get(name, 0.0)) for r in range(size)},
+        )
+        for name in names
+    ]
+    critical_path = sum(p.max_seconds for p in phases)
+    for p in phases:
+        p.critical_path_share = p.max_seconds / critical_path if critical_path > 0 else math.nan
+    phases.sort(key=lambda p: -p.max_seconds)
+    return ImbalanceReport(phases=phases, n_ranks=size)

@@ -1,0 +1,82 @@
+"""Rank-merged Chrome traces: one ``pid`` lane per rank.
+
+``chrome://tracing`` / Perfetto render separate ``pid`` values as separate
+process lanes, which is exactly the Fig. 2-style multi-rank flame chart:
+rank 0's phases stacked above rank 1's, stragglers visible as the lane
+whose spans stick out.  :func:`merge_traces` builds that view from a live
+:class:`~repro.observability.fleet.rank.FleetTelemetry`;
+:func:`merge_trace_files` does the same from per-rank trace *files* (as
+written by :func:`~repro.observability.export.write_chrome_trace`, one per
+rank), for the ``python -m repro.observability merge`` CLI path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.observability.export import to_chrome_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.fleet.rank import FleetTelemetry
+
+__all__ = ["merge_traces", "write_merged_trace", "merge_trace_files"]
+
+
+def merge_traces(fleet: "FleetTelemetry") -> dict:
+    """One Chrome-trace dict with each rank's spans in its own ``pid`` lane.
+
+    Rank tracers share a timeline origin (see
+    :class:`~repro.observability.fleet.rank.FleetTelemetry`), so timestamps
+    are directly comparable across lanes.  Per-rank metrics snapshots ride
+    along in the trace ``metadata``.
+    """
+    events: list[dict] = []
+    metrics_by_rank: dict[str, dict] = {}
+    for rt in fleet:
+        sub = to_chrome_trace(
+            rt.tracer, pid=rt.rank, tid=0, process_name=f"rank {rt.rank}"
+        )
+        events.extend(sub["traceEvents"])
+        if len(rt.metrics):
+            metrics_by_rank[str(rt.rank)] = rt.metrics.snapshot()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"n_ranks": fleet.size, "metrics": metrics_by_rank},
+    }
+
+
+def write_merged_trace(path, fleet: "FleetTelemetry") -> None:
+    """Serialize :func:`merge_traces` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(merge_traces(fleet), fh)
+
+
+def merge_trace_files(paths: list[Path | str]) -> dict:
+    """Merge per-rank Chrome-trace JSON files into one multi-lane trace.
+
+    The i-th file becomes ``pid`` lane ``i`` (whatever pid it carried
+    before); its metadata events are rewritten so the lane is labelled
+    ``rank i``.  Single-tracer exports all carry ``pid 0``, so merging
+    without the rewrite would collapse every rank into one lane.
+    """
+    events: list[dict] = []
+    metrics_by_rank: dict[str, dict] = {}
+    for rank, path in enumerate(paths):
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        for ev in data.get("traceEvents", []):
+            ev = dict(ev)
+            ev["pid"] = rank
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                ev["args"] = {"name": f"rank {rank}"}
+            events.append(ev)
+        rank_metrics = data.get("metadata", {}).get("metrics")
+        if rank_metrics:
+            metrics_by_rank[str(rank)] = rank_metrics
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"n_ranks": len(paths), "metrics": metrics_by_rank},
+    }

@@ -1,0 +1,140 @@
+"""Per-rank telemetry: one tracer + metrics registry per simulated rank.
+
+The paper's scaling evidence (Fig. 3 parallel efficiency, Fig. 4 phase
+breakdown) is inherently *per-rank*: stragglers and scaling loss only show
+up when every rank is instrumented and the records are merged.  The PR 2
+observability layer is single-tracer-per-process; this module adds the
+distributed half for the simulated rank world: a :class:`FleetTelemetry`
+holds one :class:`RankTracer` (a :class:`~repro.observability.tracer.Tracer`
+plus :class:`~repro.observability.metrics.MetricsRegistry` pair) per rank,
+all sharing one timeline origin so their merged Chrome trace aligns.
+
+Attachment is duck-typed: ``fleet.attach(world, dgs, solver)`` sets the
+``fleet`` attribute on each target, and the instrumented classes
+(:class:`~repro.comm.simworld.SimWorld`,
+:class:`~repro.comm.distributed_gs.DistributedGatherScatter`,
+:class:`~repro.comm.distributed_solver.DistributedConjugateGradient`)
+emit per-rank ``fleet.*`` spans and metrics when one is present, and pay
+nothing when it is not.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.comm.simworld import SimWorld
+    from repro.observability.fleet.imbalance import ImbalanceReport
+
+__all__ = ["RankTracer", "FleetTelemetry"]
+
+
+class RankTracer:
+    """One rank's telemetry pair; every span/event is tagged with the rank."""
+
+    __slots__ = ("rank", "tracer", "metrics")
+
+    def __init__(self, rank: int, tracer: Tracer, metrics: MetricsRegistry) -> None:
+        self.rank = rank
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def span(self, name: str, **tags: Any):
+        """Open a span on this rank's tracer, tagged with the rank."""
+        return self.tracer.span(name, rank=self.rank, **tags)
+
+    def record_span(
+        self, name: str, duration: float, counters: dict[str, float] | None = None, **tags: Any
+    ) -> Span:
+        """Record an aggregate span on this rank's tracer."""
+        return self.tracer.record_span(name, duration, counters=counters, rank=self.rank, **tags)
+
+    def event(self, name: str, **tags: Any) -> Span:
+        """Record an instant event on this rank's tracer."""
+        return self.tracer.event(name, rank=self.rank, **tags)
+
+
+class FleetTelemetry:
+    """A set of per-rank tracers/registries sharing one timeline.
+
+    Usage::
+
+        fleet = FleetTelemetry(world.size)
+        fleet.attach(world, dgs, solver)
+        ... run ...
+        trace = fleet.merge_traces()          # one pid lane per rank
+        print(fleet.text_report())            # Fig. 4-style per-rank table
+
+    The clock is injectable (and shared by every rank tracer) so tests can
+    drive deterministic timelines.
+    """
+
+    def __init__(self, size: int, clock: Any = time.perf_counter) -> None:
+        if size < 1:
+            raise ValueError("fleet size must be >= 1")
+        origin = clock()
+        self.ranks: list[RankTracer] = [
+            RankTracer(r, Tracer(clock=clock, origin=origin), MetricsRegistry())
+            for r in range(size)
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    def __getitem__(self, rank: int) -> RankTracer:
+        return self.ranks[rank]
+
+    def __iter__(self) -> Iterator[RankTracer]:
+        return iter(self.ranks)
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach(self, *targets: Any) -> "FleetTelemetry":
+        """Set ``target.fleet = self`` on each target (duck-typed hook)."""
+        for t in targets:
+            t.fleet = self
+        return self
+
+    def publish_traffic(self, world: "SimWorld") -> None:
+        """Snapshot per-rank traffic counters into each rank's registry.
+
+        Idempotent gauge-setting, mirroring
+        :meth:`~repro.comm.simworld.SimWorld.publish_metrics` for the
+        per-rank counters the imbalance analytics consume.
+        """
+        for rt in self.ranks:
+            totals = world.stats.rank_totals(rt.rank)
+            for key, value in totals.items():
+                rt.metrics.gauge(f"fleet.comm.{key}").set(value)
+
+    # -- merged views ---------------------------------------------------------
+
+    def merge_traces(self) -> dict:
+        """Single Chrome trace with one ``pid`` lane per rank."""
+        from repro.observability.fleet.merge import merge_traces
+
+        return merge_traces(self)
+
+    def text_report(self) -> str:
+        """Per-rank/per-phase wall-time table with imbalance statistics."""
+        return self.imbalance().render()
+
+    def imbalance(self) -> "ImbalanceReport":
+        """Imbalance analytics over all recorded per-rank spans."""
+        from repro.observability.fleet.imbalance import analyze_fleet
+
+        return analyze_fleet(self)
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics on every rank."""
+        for rt in self.ranks:
+            rt.tracer.reset()
+            rt.metrics.reset()

@@ -92,10 +92,18 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observations; NaN for an empty histogram."""
         return self.total / self.count if self.count else math.nan
 
     def percentile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (0..1) from the retained reservoir."""
+        """Estimate the ``q``-quantile (0..1) from the retained reservoir.
+
+        An empty histogram yields NaN (matching :attr:`mean`, so dashboards
+        render a gap rather than crash); a ``q`` outside [0, 1] raises --
+        that is a caller bug, not missing data.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if not self.recent:
             return math.nan
         data = sorted(self.recent)

@@ -62,10 +62,17 @@ PHASES: tuple[str, ...] = (
 
 #: Registered dynamic span families: a span name is valid when it starts
 #: with one of these prefixes (``krylov.pressure``, ``resilience.rollback``).
+#: The ``fleet.`` family carries the per-rank spans of the distributed
+#: telemetry layer (``fleet.gs.local``, ``fleet.cg.amul``); ``anomaly.``
+#: are the instant events of the online detectors; ``flight.`` marks the
+#: flight-recorder lifecycle (arm, dump, divergence).
 SPAN_PREFIXES: tuple[str, ...] = (
     "krylov.",
     "resilience.",
     "checkpoint.",
+    "fleet.",
+    "anomaly.",
+    "flight.",
 )
 
 # -- metric taxonomy ---------------------------------------------------------
@@ -81,6 +88,9 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "comm.",
     "resilience.",
     "bench.",
+    "fleet.",
+    "anomaly.",
+    "flight.",
 )
 
 

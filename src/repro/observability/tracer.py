@@ -120,14 +120,17 @@ class Tracer:
             with tracer.span("pressure"):
                 tracer.add("iterations", mon.iterations)
 
-    The clock is injectable for deterministic tests.
+    The clock is injectable for deterministic tests.  ``origin`` pins the
+    timeline zero to an explicit clock reading so several tracers (one per
+    simulated rank) share one timeline and their merged trace aligns; by
+    default each tracer starts its own timeline at construction.
     """
 
     enabled = True
 
-    def __init__(self, clock: Any = time.perf_counter) -> None:
+    def __init__(self, clock: Any = time.perf_counter, origin: float | None = None) -> None:
         self._clock = clock
-        self._origin = clock()
+        self._origin = clock() if origin is None else origin
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 

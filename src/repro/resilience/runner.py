@@ -90,6 +90,14 @@ class ResilientRunner:
     fault_injector:
         Optional :class:`FaultInjector` whose scheduled SDC faults are
         applied between segments (each fires once -- the transient model).
+    flight:
+        Optional
+        :class:`~repro.observability.fleet.flight.FlightRecorder`.  Every
+        event recorded in the :class:`EventLog` is mirrored into its
+        bounded event ring, and the bundle is dumped to disk right before
+        :class:`RetryBudgetExceededError` propagates -- the black box of a
+        run that did not survive.  Defaults to ``sim.flight`` when the
+        simulation carries one.
     """
 
     def __init__(
@@ -106,6 +114,7 @@ class ResilientRunner:
         backoff_base: float = 2.0,
         sleep=_time.sleep,
         fault_injector: FaultInjector | None = None,
+        flight=None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
@@ -121,10 +130,17 @@ class ResilientRunner:
         self.backoff_base = backoff_base
         self.sleep = sleep
         self.fault_injector = fault_injector
+        self.flight = flight if flight is not None else getattr(sim, "flight", None)
         # History/statistics lengths at each checkpointed step, so a
         # rollback can truncate the records the checkpoint itself does not
         # capture and the realized history stays consistent.
         self._lens: dict[int, tuple[int, int]] = {}
+
+    def _event(self, kind: str, step: int = -1, time: float = 0.0, detail: str = "", **data):
+        """Record into the event log, mirrored into the flight recorder."""
+        self.events.record(kind, step=step, time=time, detail=detail, **data)
+        if self.flight is not None:
+            self.flight.record_event(kind, step=step, time=time, detail=detail, **data)
 
     # -- checkpointing ----------------------------------------------------------
 
@@ -135,15 +151,13 @@ class ResilientRunner:
             len(getattr(sim, "history", ())),
             len(getattr(sim, "stat_samples", ())),
         )
-        self.events.record(
-            "checkpoint", step=entry.step, time=entry.time, detail="ring checkpoint"
-        )
+        self._event("checkpoint", step=entry.step, time=entry.time, detail="ring checkpoint")
 
     def _rollback(self) -> None:
         sim = self.sim
         entry, skipped = self.ring.restore_latest(sim)
         for bad in skipped:
-            self.events.record(
+            self._event(
                 "corrupt_checkpoint",
                 step=bad.step,
                 detail="ring entry failed verification; falling back",
@@ -154,7 +168,7 @@ class ResilientRunner:
         if hasattr(sim, "stat_samples"):
             del sim.stat_samples[n_stats:]
         self.health.reset()
-        self.events.record(
+        self._event(
             "rollback",
             step=entry.step,
             time=entry.time,
@@ -180,7 +194,7 @@ class ResilientRunner:
         sim.dt = new_dt
         sim.fluid.set_dt(new_dt)
         sim.scalar.set_dt(new_dt)
-        self.events.record(
+        self._event(
             "dt_reduction",
             step=sim.step_count,
             time=sim.time,
@@ -235,7 +249,7 @@ class ResilientRunner:
 
             if failure is None and self.fault_injector is not None:
                 for ev in self.fault_injector.apply_field_faults(sim):
-                    self.events.record(
+                    self._event(
                         "fault",
                         step=sim.step_count,
                         time=sim.time,
@@ -258,7 +272,7 @@ class ResilientRunner:
                 continue
 
             kind, message = failure
-            self.events.record(
+            self._event(
                 "fault_detected",
                 step=sim.step_count,
                 time=sim.time,
@@ -268,6 +282,16 @@ class ResilientRunner:
             attempts += 1
             retries_total += 1
             if attempts > self.max_retries:
+                if self.flight is not None:
+                    self._event(
+                        "flight.retry_budget",
+                        step=sim.step_count,
+                        time=sim.time,
+                        detail=f"retry budget exhausted: {message}",
+                        cause=kind,
+                        attempts=attempts - 1,
+                    )
+                    self.flight.dump(reason="retry_budget")
                 raise RetryBudgetExceededError(
                     f"giving up after {attempts - 1} retries: {message}", self.events
                 )
@@ -281,7 +305,7 @@ class ResilientRunner:
             delay = self.backoff * self.backoff_base ** (attempts - 1)
             if delay > 0:
                 self.sleep(delay)
-            self.events.record(
+            self._event(
                 "retry",
                 step=sim.step_count,
                 time=sim.time,
@@ -296,7 +320,7 @@ class ResilientRunner:
             retries=retries_total,
             checkpoints=checkpoints,
         )
-        self.events.record(
+        self._event(
             "complete",
             step=sim.step_count,
             time=sim.time,

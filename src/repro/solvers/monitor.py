@@ -57,6 +57,17 @@ class SolverMonitor:
             f"||r|| {self.initial_residual:.3e} -> {self.final_residual:.3e}"
         )
 
+    def as_record(self) -> dict[str, object]:
+        """Flat JSON-ready digest (flight recorder, telemetry export)."""
+        return {
+            "name": self.name,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "initial_residual": self.initial_residual,
+            "final_residual": self.final_residual,
+            "tol": self.tol,
+        }
+
 
 @dataclass
 class IterationStreakTracker:

@@ -1,0 +1,185 @@
+"""EWMA/z-score anomaly detection and its mirroring into every sink."""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.observability import (
+    AnomalyMonitor,
+    EwmaDetector,
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    to_chrome_trace,
+)
+from repro.resilience import EventLog
+
+
+class TestEwmaDetector:
+    def test_warmup_absorbs_transient(self):
+        det = EwmaDetector("s", warmup=8)
+        # A wild swing inside the warmup window must not flag.
+        for v in (1.0, 50.0, 1.0, 50.0, 1.0, 1.0, 1.0, 1.0):
+            assert det.observe(v) is None
+
+    def test_spike_on_near_constant_series_flags(self):
+        det = EwmaDetector("iters", warmup=4)
+        for _ in range(8):
+            assert det.observe(5.0) is None
+        a = det.observe(15.0, step=9)
+        assert a is not None
+        assert a.series == "iters"
+        assert a.value == 15.0
+        assert a.step == 9
+        assert a.zscore >= det.z_threshold
+
+    def test_small_jitter_does_not_flag(self):
+        det = EwmaDetector("iters", warmup=4)
+        for _ in range(8):
+            det.observe(5.0)
+        assert det.observe(6.0) is None  # z = 2 with the 10% rel floor
+
+    def test_level_shift_flags_once_then_adapts(self):
+        det = EwmaDetector("s", warmup=4, alpha=0.5)
+        for _ in range(8):
+            det.observe(10.0)
+        flags = [det.observe(30.0) is not None for _ in range(12)]
+        assert flags[0] is True
+        assert flags[-1] is False  # the new level became the baseline
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaDetector("s", alpha=0.0)
+
+    def test_describe_and_record(self):
+        det = EwmaDetector("iters", warmup=2)
+        for _ in range(6):
+            det.observe(4.0)
+        a = det.observe(40.0, step=7)
+        rec = a.as_record()
+        assert rec["series"] == "iters" and rec["step"] == 7
+        assert "iters" in a.describe() and "z =" in a.describe()
+
+
+class TestAnomalyMonitorSinks:
+    def make_monitor(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        metrics = MetricsRegistry()
+        log = EventLog()
+        flight = FlightRecorder(capacity=4)
+        mon = AnomalyMonitor(
+            tracer=tracer, metrics=metrics, event_log=log, flight=flight, warmup=4
+        )
+        return mon, tracer, metrics, log, flight
+
+    def feed_spike(self, mon, series="krylov.pressure.iterations"):
+        for _ in range(8):
+            mon.observe(series, 5.0)
+        return mon.observe(series, 25.0, step=9)
+
+    def test_mirrors_into_trace_export(self):
+        mon, tracer, _, _, _ = self.make_monitor()
+        a = self.feed_spike(mon)
+        assert a is not None
+        trace = to_chrome_trace(tracer)
+        instants = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+        assert any(
+            e["name"] == "anomaly.krylov.pressure.iterations" for e in instants
+        )
+
+    def test_mirrors_into_metrics_and_event_log(self):
+        mon, _, metrics, log, _ = self.make_monitor()
+        self.feed_spike(mon)
+        assert metrics.counter("anomaly.krylov.pressure.iterations").value == 1.0
+        assert log.count("anomaly.krylov.pressure.iterations") == 1
+        ev = log.events[-1]
+        assert ev.step == 9
+
+    def test_mirrors_into_flight_event_ring(self):
+        mon, _, _, _, flight = self.make_monitor()
+        self.feed_spike(mon)
+        evs = [e for e in flight.events if e["event"].startswith("anomaly.")]
+        assert len(evs) == 1
+        assert evs[0]["step"] == 9
+        assert evs[0]["data"]["value"] == 25.0
+
+    def test_kept_in_anomalies_list(self):
+        mon, _, _, _, _ = self.make_monitor()
+        self.feed_spike(mon)
+        assert len(mon.anomalies) == 1
+
+    def test_detectors_are_per_series(self):
+        mon, _, _, _, _ = self.make_monitor()
+        mon.observe("a", 1.0)
+        mon.observe("b", 100.0)
+        assert set(mon.detectors) == {"a", "b"}
+
+
+class TestObserveStep:
+    def fake_result(self, piters=5, step=1):
+        return SimpleNamespace(
+            step=step,
+            pressure_iterations=piters,
+            velocity_iterations=3,
+            temperature_iterations=2,
+            cfl=0.4,
+        )
+
+    def test_krylov_spike_flags(self):
+        mon = AnomalyMonitor(warmup=4)
+        sim = SimpleNamespace(metrics=None)
+        for s in range(1, 10):
+            assert mon.observe_step(sim, self.fake_result(step=s)) == []
+        flagged = mon.observe_step(sim, self.fake_result(piters=40, step=10))
+        assert [a.series for a in flagged] == ["krylov.pressure.iterations"]
+        assert flagged[0].step == 10
+
+    def test_step_seconds_series(self):
+        mon = AnomalyMonitor(warmup=4)
+        sim = SimpleNamespace(metrics=None)
+        for s in range(1, 10):
+            mon.observe_step(sim, self.fake_result(step=s), step_seconds=0.01)
+        flagged = mon.observe_step(
+            sim, self.fake_result(step=10), step_seconds=0.5
+        )
+        assert "step.seconds" in [a.series for a in flagged]
+
+    def test_queue_depth_from_sim_metrics(self):
+        mon = AnomalyMonitor(warmup=4)
+        metrics = MetricsRegistry()
+        sim = SimpleNamespace(metrics=metrics)
+        for s in range(1, 10):
+            metrics.gauge("insitu.queue_depth").set(1.0)
+            mon.observe_step(sim, self.fake_result(step=s))
+        metrics.gauge("insitu.queue_depth").set(8.0)
+        flagged = mon.observe_step(sim, self.fake_result(step=10))
+        assert "insitu.queue_depth" in [a.series for a in flagged]
+
+    def test_nan_gauge_is_skipped(self):
+        mon = AnomalyMonitor(warmup=2)
+        metrics = MetricsRegistry()
+        metrics.gauge("insitu.queue_depth")  # created but never set: NaN
+        sim = SimpleNamespace(metrics=metrics)
+        mon.observe_step(sim, self.fake_result())
+        assert "insitu.queue_depth" not in mon.detectors
+
+
+class TestPipelineIntegration:
+    def test_pipeline_feeds_queue_depth(self):
+        import numpy as np
+
+        from repro.insitu import InSituPipeline, Processor
+
+        class Sink(Processor):
+            name = "sink"
+
+            def process(self, tag, array, sim_time):
+                pass
+
+        mon = AnomalyMonitor(warmup=2)
+        with InSituPipeline([Sink()], max_queue=4, anomalies=mon) as pipe:
+            for _ in range(6):
+                pipe.put("u", np.zeros(8))
+        assert "insitu.queue_depth" in mon.detectors
+        assert mon.detectors["insitu.queue_depth"].observations == 6

@@ -61,6 +61,32 @@ class TestHistogram:
     def test_empty_percentile_nan(self):
         assert math.isnan(MetricsRegistry().histogram("h").percentile(0.5))
 
+    def test_empty_mean_nan_matches_percentile(self):
+        # Empty histograms answer NaN consistently (never raise, never 0):
+        # a gap in a dashboard, not a fake data point.
+        h = MetricsRegistry().histogram("h")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(0.0))
+        assert math.isnan(h.percentile(1.0))
+        snap = h.snapshot()
+        assert math.isnan(snap["mean"]) and math.isnan(snap["p50"])
+
+    def test_percentile_rejects_out_of_range_q(self):
+        h = MetricsRegistry().histogram("h")
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_single_observation_percentiles(self):
+        h = MetricsRegistry().histogram("h")
+        h.record(7.0)
+        assert h.percentile(0.0) == 7.0
+        assert h.percentile(0.5) == 7.0
+        assert h.percentile(1.0) == 7.0
+        assert h.mean == 7.0
+
 
 class TestRegistry:
     def test_kind_punning_raises(self):

@@ -1,0 +1,18 @@
+"""Fixture: the fleet/anomaly/flight span families are registered.
+
+Every literal name here belongs to a prefix family added to the phase
+registry (``fleet.``, ``anomaly.``, ``flight.``), so the span-hygiene rule
+must produce zero findings for this module.  Linted by tests, never
+imported.
+"""
+
+
+def run(tracer, metrics, series):
+    with tracer.span("fleet.gs.local", rank=0):  # registered fleet.* span
+        pass
+    with tracer.span("fleet.cg.amul", rank=1):  # registered fleet.* span
+        pass
+    tracer.event(f"anomaly.{series}", cat="anomaly")  # registered anomaly.* event
+    tracer.event("flight.divergence")  # registered flight.* event
+    metrics.counter("fleet.cg.solves").inc()  # registered fleet.* metric
+    metrics.counter("flight.dumps").inc()  # registered flight.* metric

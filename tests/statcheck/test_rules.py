@@ -58,6 +58,14 @@ class TestSpanHygiene:
         assert [f.line for f in findings] == [7]
         assert "made_up_phase" in findings[0].message
 
+    def test_fleet_anomaly_flight_families_are_registered(self):
+        # The PR 4 telemetry names (fleet.*, anomaly.*, flight.*) are part
+        # of the registry: a module using only them is clean.
+        findings = run_rule(
+            "span-hygiene", FIXTURES / "src/repro/core/fleet_span_case.py"
+        )
+        assert findings == []
+
 
 class TestResourceDiscipline:
     def test_flags_raw_open_and_bare_except(self):
