@@ -38,3 +38,6 @@ register_backend("cpu", CpuDevice)
 register_backend("cpu:instrumented", lambda: InstrumentedDevice(CpuDevice()))
 register_backend("sim:a100", lambda: SimulatedGpuDevice(A100))
 register_backend("sim:mi250x", lambda: SimulatedGpuDevice(MI250X_GCD))
+# Canonical alias used by the verification subsystem's cross-backend
+# equivalence checks: "the" simulated GPU, currently the A100 model.
+register_backend("simgpu", lambda: SimulatedGpuDevice(A100))

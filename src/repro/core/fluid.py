@@ -189,6 +189,35 @@ class FluidScheme:
             for lev in hist:
                 lev[:] = val
 
+    def prime_history(
+        self,
+        velocity_at,
+        weak_forcing_at,
+        t0: float,
+        dt: float,
+        pressure: np.ndarray | None = None,
+    ) -> None:
+        """Fill the multistep histories from known solution/forcing functions.
+
+        ``velocity_at(t)`` returns the three components; ``weak_forcing_at(t)``
+        the mass-weighted explicit term per component (advection plus body
+        force) as a 3-tuple.  Evaluated at ``t0 - j dt``; the order ramp is
+        then skipped.  ``pressure`` seeds the incremental pressure-correction
+        predictor -- without it the first pressure increment carries an O(1)
+        splitting transient.
+        """
+        for j in range(len(self.u)):
+            uj, vj, wj = velocity_at(t0 - j * dt)
+            self.u[j][:], self.v[j][:], self.w[j][:] = uj, vj, wj
+        self.f_hist = [
+            weak_forcing_at(t0 - j * dt)
+            for j in range(1, self.scheme.target_order)
+        ]
+        if pressure is not None:
+            self.p = pressure.copy()
+            self._pressure_project(self.p)
+        self.scheme.jump_start()
+
     def step(
         self,
         forcing_weak: tuple[np.ndarray, np.ndarray, np.ndarray],

@@ -65,7 +65,10 @@ PHASES: tuple[str, ...] = (
 #: The ``fleet.`` family carries the per-rank spans of the distributed
 #: telemetry layer (``fleet.gs.local``, ``fleet.cg.amul``); ``anomaly.``
 #: are the instant events of the online detectors; ``flight.`` marks the
-#: flight-recorder lifecycle (arm, dump, divergence).
+#: flight-recorder lifecycle (arm, dump, divergence).  The ``verify.``
+#: family wraps the verification subsystem's convergence studies and
+#: cross-backend checks (``verify.study``, ``verify.case``,
+#: ``verify.equivalence``).
 SPAN_PREFIXES: tuple[str, ...] = (
     "krylov.",
     "resilience.",
@@ -73,6 +76,7 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "fleet.",
     "anomaly.",
     "flight.",
+    "verify.",
 )
 
 # -- metric taxonomy ---------------------------------------------------------
@@ -91,6 +95,7 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "fleet.",
     "anomaly.",
     "flight.",
+    "verify.",
 )
 
 

@@ -176,6 +176,7 @@ class FastDiagonalization:
             + mz[:, :, None, None] * my[:, None, :, None] * kx[:, None, None, :]
         )
         self.inv_d3 = 1.0 / d3
+        self._inv_counts: np.ndarray | None = None
 
     def _tensor_apply(self, u: np.ndarray, m: np.ndarray) -> np.ndarray:
         nelv, lz, ly, lx = u.shape
@@ -189,3 +190,20 @@ class FastDiagonalization:
         v = self._tensor_apply(r, self.st)
         v *= self.inv_d3
         return self._tensor_apply(v, self.s)
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        """Preconditioner interface: local solves + counting-weighted average.
+
+        Element-local inverses break interelement continuity; a Krylov
+        direction with a discontinuous component picks up the assembled
+        operator's null space (small residual, wrong field), so standalone
+        use must restore continuity.  This is the classic additive Schwarz
+        with counting weights; the full ghost-exchange variant lives in
+        :class:`~repro.precond.schwarz.SchwarzSmoother`.  Still asymmetric
+        with respect to the gather--scatter inner product -> pair with
+        GMRES, not CG.
+        """
+        if self._inv_counts is None:
+            gs = self.space.gs
+            self._inv_counts = 1.0 / gs.add(np.ones(self.space.shape))
+        return self.space.gs.add(self.solve(r)) * self._inv_counts

@@ -61,6 +61,23 @@ class FunctionSpace:
         """Mass-weighted L^2 norm (the paper's reconstruction-error metric)."""
         return float(np.sqrt(np.sum(u * u * self.coef.mass)))
 
+    def norm_max(self, u: np.ndarray) -> float:
+        """Pointwise maximum-magnitude norm (cross-backend divergence metric)."""
+        return float(np.max(np.abs(u)))
+
+    def relative_l2_error(self, u: np.ndarray, exact: np.ndarray) -> float:
+        """``||u - exact|| / ||exact||`` in the mass-weighted L^2 norm.
+
+        Falls back to the absolute norm when ``exact`` is (numerically)
+        zero, so manufactured solutions that vanish at some instant do not
+        divide by zero.
+        """
+        denom = self.norm_l2(exact)
+        num = self.norm_l2(u - exact)
+        if denom < 1e-300:
+            return num
+        return num / denom
+
     def zeros(self) -> np.ndarray:
         """A zero field with the elementwise layout of this space."""
         return np.zeros(self.shape)

@@ -65,6 +65,16 @@ class TimeScheme:
         """Note that one step was completed (advances the order ramp)."""
         self.step_count += 1
 
+    def jump_start(self) -> None:
+        """Skip the order ramp: the next step runs at the target order.
+
+        Valid only when the caller has primed the multistep histories with
+        ``target_order`` consistent levels (e.g. from an exact solution in
+        an MMS study, or from a restart file).  Starting at full order with
+        zero-filled history would poison the first steps instead.
+        """
+        self.step_count = max(self.step_count, self.target_order - 1)
+
     @staticmethod
     def verify_consistency(order: int) -> float:
         """Max consistency defect of the tables (exactness on polynomials).

@@ -139,3 +139,22 @@ class VariableTimeScheme:
         del self._dts[self.target_order :]
         self._next_dt = None
         self.step_count += 1
+
+    def jump_start(self, dts: list[float]) -> None:
+        """Skip the order ramp with a known completed-step history.
+
+        ``dts`` lists the ``target_order - 1`` steps *preceding* the first
+        one about to be taken, newest first.  As with
+        :meth:`TimeScheme.jump_start <repro.timeint.bdf_ext.TimeScheme.jump_start>`,
+        the caller must have primed the solution/forcing histories at the
+        matching time levels.
+        """
+        if len(dts) < self.target_order - 1:
+            raise ValueError(
+                f"need {self.target_order - 1} completed steps to jump-start "
+                f"order {self.target_order}, got {len(dts)}"
+            )
+        if any(dt <= 0 for dt in dts):
+            raise ValueError("step history must be positive")
+        self._dts = [float(dt) for dt in dts[: self.target_order]]
+        self.step_count = max(self.step_count, self.target_order - 1)

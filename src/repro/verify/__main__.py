@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.verify``."""
+
+from repro.verify.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Convergence studies: sweep a refinement parameter, fit the observed rate.
+
+Three refinement axes, three expected behaviours:
+
+* **p-refinement** (increase ``lx`` at fixed mesh): for analytic solutions
+  the SEM error decays *exponentially*, ``err ~ C exp(-sigma lx)``.  We fit
+  ``sigma`` as the (negated) slope of ``log err`` against ``lx`` and assert
+  a minimum decay rate; an algebraic-order bug (wrong geometric factors,
+  quadrature underintegration) flattens this curve unmistakably.
+* **h-refinement** (increase the element count at fixed ``lx``): algebraic
+  decay ``err ~ C h^r`` with design rate ``r ~ lx`` (theory gives ``p + 1 =
+  lx`` for the L^2 error of degree-``p`` elements; superconvergence pushes
+  the observed rate slightly above).
+* **dt-refinement**: algebraic decay at the design order ``k`` of the
+  BDFk/EXTk scheme.
+
+Errors at the round-off floor are excluded from fits (a saturated tail
+biases the slope towards zero and would fail a *correct* implementation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.observability.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "StudyResult",
+    "fit_algebraic_order",
+    "fit_exponential_rate",
+    "ConvergenceStudy",
+]
+
+#: Errors below this are considered saturated at round-off and excluded
+#: from rate fits.
+ROUNDOFF_FLOOR = 1e-12
+
+
+def _fit_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``ys`` against ``xs`` (no numpy needed)."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a rate")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0.0:
+        raise ValueError("refinement parameters are all identical")
+    return sxy / sxx
+
+
+def _filter_floor(
+    params: Sequence[float], errors: Sequence[float], floor: float
+) -> tuple[list[float], list[float]]:
+    kept = [(p, e) for p, e in zip(params, errors) if e > floor]
+    if len(kept) < 2:
+        # Everything converged to round-off: the study passed maximally;
+        # keep the two largest errors so a slope is still defined.
+        ranked = sorted(zip(params, errors), key=lambda pe: -pe[1])[:2]
+        kept = sorted(ranked)
+    return [p for p, _ in kept], [e for _, e in kept]
+
+
+def fit_algebraic_order(
+    hs: Sequence[float], errors: Sequence[float], floor: float = ROUNDOFF_FLOOR
+) -> float:
+    """Observed order ``r`` of ``err ~ C h^r`` (slope in log--log)."""
+    hs_f, errs_f = _filter_floor(hs, errors, floor)
+    return _fit_slope([math.log(h) for h in hs_f], [math.log(e) for e in errs_f])
+
+
+def fit_exponential_rate(
+    orders: Sequence[float], errors: Sequence[float], floor: float = ROUNDOFF_FLOOR
+) -> float:
+    """Observed decay rate ``sigma`` of ``err ~ C exp(-sigma lx)``.
+
+    The slope of ``log err`` against ``lx``, negated so that larger is
+    better (spectral convergence shows ``sigma`` of order one or more).
+    """
+    os_f, errs_f = _filter_floor(orders, errors, floor)
+    return -_fit_slope(list(os_f), [math.log(e) for e in errs_f])
+
+
+@dataclass
+class StudyResult:
+    """Outcome of one convergence study: samples, fitted rate, verdict."""
+
+    name: str
+    kind: str  #: "p" (exponential), "h" or "dt" (algebraic)
+    parameters: list[float]
+    errors: list[float]
+    observed_rate: float
+    expected_rate: float
+    passed: bool
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def as_record(self) -> dict[str, Any]:
+        """JSON-ready representation (consumed by the CLI report)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "parameters": list(self.parameters),
+            "errors": list(self.errors),
+            "observed_rate": self.observed_rate,
+            "expected_rate": self.expected_rate,
+            "passed": self.passed,
+            **({"detail": self.detail} if self.detail else {}),
+        }
+
+
+class ConvergenceStudy:
+    """Run a parameter sweep and fit the observed convergence rate.
+
+    ``case`` maps one refinement parameter to an error (or to a dict of
+    named errors, in which case ``select`` picks the one under study).
+    The study emits ``verify.study`` / ``verify.case`` tracer spans so a
+    full verification run is inspectable in the observability layer like
+    any other workload.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        case: Callable[[float], float],
+        kind: str = "h",
+        tracer: Tracer | None = None,
+    ) -> None:
+        if kind not in ("p", "h", "dt"):
+            raise ValueError(f"unknown study kind {kind!r}; use 'p', 'h' or 'dt'")
+        self.name = name
+        self.case = case
+        self.kind = kind
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(self, parameters: Sequence[float], expected_rate: float) -> StudyResult:
+        """Sweep ``parameters``, fit the rate, compare to ``expected_rate``.
+
+        For ``kind="p"`` the parameters are polynomial point counts ``lx``
+        and the fit is exponential; for ``"h"`` they are mesh sizes ``h``
+        (errors must *decrease* with ``h``); for ``"dt"`` they are step
+        sizes.  ``passed`` is ``observed >= expected`` -- expected rates
+        should already carry the tolerance margin (e.g. ``k - 0.2``).
+        """
+        errors: list[float] = []
+        with self.tracer.span("verify.study", study=self.name, kind=self.kind):
+            for p in parameters:
+                with self.tracer.span("verify.case", study=self.name, parameter=p):
+                    errors.append(float(self.case(p)))
+        if self.kind == "p":
+            observed = fit_exponential_rate(parameters, errors)
+        else:
+            observed = fit_algebraic_order(parameters, errors)
+        passed = bool(observed >= expected_rate) and all(
+            math.isfinite(e) for e in errors
+        )
+        return StudyResult(
+            name=self.name,
+            kind=self.kind,
+            parameters=[float(p) for p in parameters],
+            errors=errors,
+            observed_rate=float(observed),
+            expected_rate=float(expected_rate),
+            passed=passed,
+        )

@@ -1,0 +1,205 @@
+"""Cross-backend equivalence: identical numerics on every device backend.
+
+The backend abstraction promises that moving a kernel from the CPU to a
+(simulated) GPU changes *performance*, never *results*.  This module makes
+the promise checkable: it routes the same operator/solver chains through
+each registered backend's ``launch`` path -- elliptic operator applies,
+gather--scatter assembly, every preconditioner, and complete Krylov solves
+-- and bounds the maximum pointwise divergence between backends.
+
+The simulated-GPU backends execute kernels on host buffers, so the
+expected divergence is exactly zero; the default tolerance of ``1e-12``
+leaves headroom for a future backend with genuinely reordered reductions
+while still catching any algorithmic drift (a wrong kernel launched, stale
+buffers, missing synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.backend.device import Device
+from repro.backend.registry import get_backend
+from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.sem.operators import ax_helmholtz, ax_poisson
+from repro.sem.space import FunctionSpace
+from repro.solvers.cg import ConjugateGradient
+from repro.solvers.gmres import Gmres
+from repro.verify.manufactured import trig_mms
+from repro.verify.problems import deformed_box_space, make_preconditioner
+
+__all__ = ["EquivalenceResult", "cross_backend_check", "DEFAULT_CHAINS"]
+
+Array = np.ndarray
+
+#: Chain names run by default: elementwise operators, assembly, each
+#: preconditioner apply, and the two production solver pairings.
+DEFAULT_CHAINS: tuple[str, ...] = (
+    "ax_poisson",
+    "ax_helmholtz",
+    "gs_add",
+    "precond:jacobi",
+    "precond:fdm",
+    "precond:schwarz",
+    "precond:hsmg",
+    "solve:cg+jacobi",
+    "solve:gmres+hsmg",
+)
+
+
+@dataclass
+class EquivalenceResult:
+    """Divergence of one chain across backends."""
+
+    chain: str
+    backends: tuple[str, ...]
+    max_divergence: float
+    tolerance: float
+    passed: bool
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def as_record(self) -> dict[str, Any]:
+        return {
+            "chain": self.chain,
+            "backends": list(self.backends),
+            "max_divergence": self.max_divergence,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+            **({"detail": self.detail} if self.detail else {}),
+        }
+
+
+def _device_apply(
+    dev: Device, name: str, fn: Callable[[Array, Array], None], u: Array, shape: tuple
+) -> Array:
+    """Launch a two-buffer kernel ``fn(in, out)`` through the backend."""
+    u_d = dev.to_device(u)
+    out_d = dev.allocate(shape)
+
+    def kernel(u_buf: Array, out_buf: Array) -> None:
+        fn(u_buf, out_buf)
+
+    dev.launch(name, kernel, u_d, out_d)
+    dev.synchronize()
+    return dev.to_host(out_d)
+
+
+def _chain_output(
+    chain: str,
+    dev: Device,
+    space: FunctionSpace,
+    mask: Array,
+    u: Array,
+    rhs: Array,
+) -> Array:
+    """Run one named chain on one backend and return its host-side result."""
+    shape = space.shape
+    if chain == "ax_poisson":
+        def k_pois(u_buf: Array, out_buf: Array) -> None:
+            out_buf[:] = ax_poisson(u_buf, space.coef, space.dx)
+
+        return _device_apply(dev, "ax_poisson", k_pois, u, shape)
+
+    if chain == "ax_helmholtz":
+        def k_helm(u_buf: Array, out_buf: Array) -> None:
+            out_buf[:] = ax_helmholtz(u_buf, space.coef, space.dx, 1.0, 2.5)
+
+        return _device_apply(dev, "ax_helmholtz", k_helm, u, shape)
+
+    if chain == "gs_add":
+        def k_gs(u_buf: Array, out_buf: Array) -> None:
+            out_buf[:] = space.gs.add(u_buf)
+
+        return _device_apply(dev, "gs_add", k_gs, u, shape)
+
+    if chain.startswith("precond:"):
+        pname = chain.split(":", 1)[1]
+        pre, _ = make_preconditioner(pname, space, mask)
+        assert pre is not None
+
+        def k_pre(r_buf: Array, out_buf: Array) -> None:
+            out_buf[:] = pre(r_buf)
+
+        return _device_apply(dev, f"precond_{pname}", k_pre, rhs, shape)
+
+    if chain.startswith("solve:"):
+        method, pname = chain.split(":", 1)[1].split("+")
+        pre, _ = make_preconditioner(pname, space, mask)
+
+        def amul(v: Array) -> Array:
+            def k_amul(v_buf: Array, out_buf: Array) -> None:
+                out_buf[:] = space.gs.add(ax_poisson(v_buf, space.coef, space.dx)) * mask
+
+            return _device_apply(dev, "ax_poisson_assembled", k_amul, v, shape)
+
+        if method == "cg":
+            solver: ConjugateGradient | Gmres = ConjugateGradient(
+                amul, space.gs.dot, precond=pre, tol=1e-10, maxiter=400
+            )
+        else:
+            solver = Gmres(amul, space.gs.dot, precond=pre, tol=1e-10, maxiter=400)
+        sol, _mon = solver.solve(rhs)
+        return np.asarray(sol)
+
+    raise ValueError(f"unknown chain {chain!r}; options: {DEFAULT_CHAINS}")
+
+
+def cross_backend_check(
+    backends: tuple[str, ...] = ("cpu", "simgpu"),
+    chains: tuple[str, ...] = DEFAULT_CHAINS,
+    tolerance: float = 1e-12,
+    lx: int = 6,
+    n: int = 2,
+    tracer: Tracer | None = None,
+) -> list[EquivalenceResult]:
+    """Run every chain on every backend; bound pairwise divergence.
+
+    The reference is the first backend; each other backend's output is
+    compared to it in the max-abs norm.  The problem is a seeded deformed
+    box (non-affine metrics) with the trigonometric MMS right-hand side,
+    so every code path the production solvers take is covered.
+    """
+    if len(backends) < 2:
+        raise ValueError("need at least two backends to compare")
+    tracer = tracer if tracer is not None else NULL_TRACER
+
+    space = deformed_box_space(n, lx, amplitude=0.05, seed=7)
+    from repro.sem.bc import DirichletBC
+
+    mms = trig_mms()
+    bc = DirichletBC(space, space.mesh.boundary_labels(), mms.solution)
+    mask = bc.mask
+    u = space.interpolate(mms.solution)
+    forcing = np.asarray(mms.poisson_forcing(space.x, space.y, space.z))
+    rhs = space.gs.add(
+        space.coef.mass * forcing - ax_poisson(bc.values, space.coef, space.dx)
+    ) * mask
+
+    results: list[EquivalenceResult] = []
+    for chain in chains:
+        with tracer.span("verify.equivalence", chain=chain):
+            outputs: dict[str, Array] = {}
+            for bname in backends:
+                dev = get_backend(bname)
+                outputs[bname] = _chain_output(chain, dev, space, mask, u, rhs)
+            ref = outputs[backends[0]]
+            worst = 0.0
+            per_backend: dict[str, float] = {}
+            for bname in backends[1:]:
+                d = float(np.max(np.abs(outputs[bname] - ref)))
+                per_backend[bname] = d
+                worst = max(worst, d)
+        results.append(
+            EquivalenceResult(
+                chain=chain,
+                backends=backends,
+                max_divergence=worst,
+                tolerance=tolerance,
+                passed=worst < tolerance,
+                detail={"vs_" + b: d for b, d in per_backend.items()},
+            )
+        )
+    return results

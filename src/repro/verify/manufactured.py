@@ -1,0 +1,233 @@
+"""Symbolic-free manufactured solutions: closed-form fields and forcings.
+
+The method of manufactured solutions (MMS) inverts the usual workflow:
+*choose* a smooth exact solution, push it through the continuous PDE to
+obtain the forcing that makes it exact, then check that the discrete
+solver reproduces the chosen field at the design convergence rate.  No
+computer algebra is involved -- every derivative below was taken by hand
+and is exercised against finite differences in the test suite, so the
+forcing formulas themselves are verified before they verify anything else.
+
+Two families live here:
+
+* **steady** (:class:`SteadyMMS`): a scalar field with its gradient and
+  Laplacian, turned into Poisson (``-lap u = f``) or Helmholtz
+  (``h1 * -lap u + h2 * u = f``) forcings.  The trigonometric instance uses
+  deliberately *non-integer* wavenumbers so the Dirichlet boundary data is
+  nonzero -- a solve that forgets the inhomogeneous lifting cannot pass.
+
+* **unsteady** (:class:`ScalarAdvectionDiffusionMMS`,
+  :class:`BoussinesqMMS`): time-modulated Taylor--Green fields on a
+  periodic box.  The Taylor--Green velocity has the special property that
+  ``(u . grad) u`` is a pure gradient, cancelled exactly by the closed-form
+  pressure, which keeps the momentum forcing short enough to audit by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "SteadyMMS",
+    "trig_mms",
+    "polynomial_mms",
+    "ScalarAdvectionDiffusionMMS",
+    "BoussinesqMMS",
+]
+
+Array = np.ndarray
+ScalarField = Callable[[Array, Array, Array], Array]
+
+
+@dataclass(frozen=True)
+class SteadyMMS:
+    """A manufactured steady scalar: solution, gradient and Laplacian.
+
+    ``gradient`` returns the three components ``(u_x, u_y, u_z)``;
+    ``laplacian`` returns ``lap u``.  The forcing builders below derive the
+    right-hand sides for the elliptic operators of :mod:`repro.sem.operators`.
+    """
+
+    name: str
+    solution: ScalarField
+    gradient: Callable[[Array, Array, Array], tuple[Array, Array, Array]]
+    laplacian: ScalarField
+
+    def poisson_forcing(self, x: Array, y: Array, z: Array) -> Array:
+        """Forcing ``f`` of ``-lap u = f``."""
+        return -self.laplacian(x, y, z)
+
+    def helmholtz_forcing(
+        self, x: Array, y: Array, z: Array, h1: float, h2: float
+    ) -> Array:
+        """Forcing ``f`` of ``-h1 lap u + h2 u = f`` (the code's ax_helmholtz)."""
+        return -h1 * self.laplacian(x, y, z) + h2 * self.solution(x, y, z)
+
+
+def trig_mms(kx: float = 1.5, ky: float = 1.0, kz: float = 0.5) -> SteadyMMS:
+    """Product-of-sines exact solution with non-integer wavenumbers.
+
+    ``u = sin(pi kx x) sin(pi ky y) sin(pi kz z)``.  On the unit box the
+    defaults give nonzero Dirichlet traces on four of the six faces, so the
+    inhomogeneous-lifting path of the solvers is always exercised.
+    """
+
+    def u(x: Array, y: Array, z: Array) -> Array:
+        return np.sin(np.pi * kx * x) * np.sin(np.pi * ky * y) * np.sin(np.pi * kz * z)
+
+    def grad(x: Array, y: Array, z: Array) -> tuple[Array, Array, Array]:
+        sx, cx = np.sin(np.pi * kx * x), np.cos(np.pi * kx * x)
+        sy, cy = np.sin(np.pi * ky * y), np.cos(np.pi * ky * y)
+        sz, cz = np.sin(np.pi * kz * z), np.cos(np.pi * kz * z)
+        return (
+            np.pi * kx * cx * sy * sz,
+            np.pi * ky * sx * cy * sz,
+            np.pi * kz * sx * sy * cz,
+        )
+
+    def lap(x: Array, y: Array, z: Array) -> Array:
+        return -(np.pi**2) * (kx**2 + ky**2 + kz**2) * u(x, y, z)
+
+    return SteadyMMS(f"trig(kx={kx},ky={ky},kz={kz})", u, grad, lap)
+
+
+def polynomial_mms() -> SteadyMMS:
+    """Quadratic exact solution: a patch test, exact for every ``lx >= 3``.
+
+    ``u = x^2 + 2 y^2 + 3 z^2 + x y + y z - x z + x + 2``, so
+    ``lap u = 12`` exactly.  Any ``lx >= 3`` space must reproduce it to
+    round-off independent of mesh deformation -- a failure localizes the
+    bug to the geometric factors rather than to resolution.
+    """
+
+    def u(x: Array, y: Array, z: Array) -> Array:
+        return x**2 + 2.0 * y**2 + 3.0 * z**2 + x * y + y * z - x * z + x + 2.0
+
+    def grad(x: Array, y: Array, z: Array) -> tuple[Array, Array, Array]:
+        return (
+            2.0 * x + y - z + 1.0,
+            4.0 * y + x + z,
+            6.0 * z + y - x,
+        )
+
+    def lap(x: Array, y: Array, z: Array) -> Array:
+        return np.full_like(x, 12.0)
+
+    return SteadyMMS("quadratic-patch", u, grad, lap)
+
+
+@dataclass(frozen=True)
+class ScalarAdvectionDiffusionMMS:
+    """Manufactured unsteady advection--diffusion on the periodic (0,2)^3 box.
+
+    Exact temperature ``T = cos(omega t) sin(K x) cos(K y)`` advected by the
+    time-modulated Taylor--Green velocity
+
+        u = g(t) ( sin(Kx) cos(Ky), -cos(Kx) sin(Ky), 0 ),
+        g(t) = 1 + 0.5 sin(omega t).
+
+    The advection term collapses to ``u . grad T = g th K sin(Kx) cos(Kx)``
+    (the y-parts combine via ``cos^2 + sin^2``), giving a compact source for
+
+        T_t + u . grad T - kappa lap T = s.
+
+    With ``K = pi`` the fields are periodic over a length-2 box.
+    """
+
+    kappa: float
+    k: float = np.pi
+    omega: float = 6.0
+
+    def _g(self, t: float) -> float:
+        return 1.0 + 0.5 * np.sin(self.omega * t)
+
+    def _theta(self, t: float) -> float:
+        return float(np.cos(self.omega * t))
+
+    def temperature(self, x: Array, y: Array, z: Array, t: float) -> Array:
+        return self._theta(t) * np.sin(self.k * x) * np.cos(self.k * y)
+
+    def velocity(
+        self, x: Array, y: Array, z: Array, t: float
+    ) -> tuple[Array, Array, Array]:
+        g = self._g(t)
+        return (
+            g * np.sin(self.k * x) * np.cos(self.k * y),
+            -g * np.cos(self.k * x) * np.sin(self.k * y),
+            np.zeros_like(x),
+        )
+
+    def source(self, x: Array, y: Array, z: Array, t: float) -> Array:
+        k, om = self.k, self.omega
+        th = self._theta(t)
+        dth = -om * np.sin(om * t)
+        sx, cx, cy = np.sin(k * x), np.cos(k * x), np.cos(k * y)
+        return (
+            dth * sx * cy
+            + self._g(t) * th * k * sx * cx
+            + 2.0 * self.kappa * k * k * th * sx * cy
+        )
+
+
+@dataclass(frozen=True)
+class BoussinesqMMS:
+    """Manufactured coupled Boussinesq step on the periodic (0,2)^3 box.
+
+    The velocity is the modulated Taylor--Green field of
+    :class:`ScalarAdvectionDiffusionMMS`; because ``(u . grad) u`` is the
+    gradient of ``-(g^2/4)(cos 2Kx + cos 2Ky)``, choosing the *negative* of
+    that as the pressure cancels it from the momentum forcing, which
+    reduces to
+
+        F = (g' + 2 nu K^2 g) (sin Kx cos Ky, -cos Kx sin Ky, 0) - T e_z,
+
+    where the last term compensates the buoyancy the scheme adds from the
+    evolving temperature.  The temperature satisfies the same
+    advection--diffusion MMS with diffusivity ``conductivity``.
+    """
+
+    viscosity: float
+    conductivity: float
+    k: float = np.pi
+    omega: float = 6.0
+
+    @property
+    def scalar(self) -> ScalarAdvectionDiffusionMMS:
+        return ScalarAdvectionDiffusionMMS(
+            kappa=self.conductivity, k=self.k, omega=self.omega
+        )
+
+    def _g(self, t: float) -> float:
+        return 1.0 + 0.5 * np.sin(self.omega * t)
+
+    def _dg(self, t: float) -> float:
+        return 0.5 * self.omega * float(np.cos(self.omega * t))
+
+    def velocity(
+        self, x: Array, y: Array, z: Array, t: float
+    ) -> tuple[Array, Array, Array]:
+        return self.scalar.velocity(x, y, z, t)
+
+    def pressure(self, x: Array, y: Array, z: Array, t: float) -> Array:
+        g = self._g(t)
+        return (g * g / 4.0) * (np.cos(2 * self.k * x) + np.cos(2 * self.k * y))
+
+    def temperature(self, x: Array, y: Array, z: Array, t: float) -> Array:
+        return self.scalar.temperature(x, y, z, t)
+
+    def momentum_forcing(
+        self, x: Array, y: Array, z: Array, t: float
+    ) -> tuple[Array, Array, Array]:
+        k = self.k
+        amp = self._dg(t) + 2.0 * self.viscosity * k * k * self._g(t)
+        return (
+            amp * np.sin(k * x) * np.cos(k * y),
+            -amp * np.cos(k * x) * np.sin(k * y),
+            -self.temperature(x, y, z, t),
+        )
+
+    def temperature_source(self, x: Array, y: Array, z: Array, t: float) -> Array:
+        return self.scalar.source(x, y, z, t)

@@ -66,6 +66,14 @@ class TestSpanHygiene:
         )
         assert findings == []
 
+    def test_verify_family_is_registered(self):
+        # The verification subsystem's spans and metrics (verify.*) are a
+        # registered family: a module using only them is clean.
+        findings = run_rule(
+            "span-hygiene", FIXTURES / "src/repro/core/verify_span_case.py"
+        )
+        assert findings == []
+
 
 class TestResourceDiscipline:
     def test_flags_raw_open_and_bare_except(self):

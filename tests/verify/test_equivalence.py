@@ -1,0 +1,82 @@
+"""Cross-backend equivalence: same numbers on cpu and the simulated GPUs.
+
+The simulated-GPU backends execute kernels on host buffers, so any nonzero
+divergence is an orchestration bug (wrong kernel, stale buffer, missing
+synchronize) -- the check asserts bit-identical results with a 1e-12
+ceiling that would also accommodate genuinely reordered reductions.
+"""
+
+import pytest
+
+from repro.backend.registry import available_backends, get_backend
+from repro.backend.simgpu import SimulatedGpuDevice
+from repro.verify.equivalence import DEFAULT_CHAINS, cross_backend_check
+
+TOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def results():
+    return cross_backend_check(backends=("cpu", "simgpu"), tolerance=TOL)
+
+
+class TestBackendRegistry:
+    def test_simgpu_alias_is_registered(self):
+        assert "simgpu" in available_backends()
+        assert isinstance(get_backend("simgpu"), SimulatedGpuDevice)
+
+
+class TestCrossBackendEquivalence:
+    def test_every_default_chain_is_covered(self, results):
+        assert tuple(r.chain for r in results) == DEFAULT_CHAINS
+
+    def test_operator_chains_are_equivalent(self, results):
+        for r in results:
+            assert r.passed, (
+                f"{r.chain}: max divergence {r.max_divergence:.3e} "
+                f"exceeds {r.tolerance:.1e}"
+            )
+
+    def test_simulated_gpu_is_bit_identical(self, results):
+        # Stronger than the tolerance: the sim backend runs host NumPy.
+        for r in results:
+            assert r.max_divergence == 0.0
+
+    def test_records_are_json_ready(self, results):
+        import json
+
+        for r in results:
+            rec = json.loads(json.dumps(r.as_record()))
+            assert rec["chain"] == r.chain
+            assert rec["passed"] is True
+
+    def test_three_way_comparison(self):
+        res = cross_backend_check(
+            backends=("cpu", "sim:a100", "sim:mi250x"),
+            chains=("ax_poisson", "precond:jacobi"),
+        )
+        for r in res:
+            assert r.passed
+            assert set(r.detail) == {"vs_sim:a100", "vs_sim:mi250x"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two backends"):
+            cross_backend_check(backends=("cpu",))
+        with pytest.raises(ValueError, match="unknown chain"):
+            cross_backend_check(chains=("not-a-chain",))
+
+
+class TestDivergenceDetection:
+    def test_comparator_is_falsifiable(self):
+        """A tolerance of zero must fail: the comparison is strictly '<'.
+
+        Guards against the check degenerating into ``<=`` (which would
+        wave through a hypothetical backend whose divergence exactly equals
+        a zero tolerance) and proves ``passed`` actually depends on the
+        tolerance rather than being hardwired.
+        """
+        res = cross_backend_check(
+            backends=("cpu", "simgpu"), chains=("gs_add",), tolerance=0.0
+        )[0]
+        assert res.max_divergence == 0.0
+        assert not res.passed

@@ -1,0 +1,155 @@
+"""The manufactured solutions verify *themselves* before verifying anything.
+
+Every hand-derived gradient, Laplacian and forcing is checked against
+central finite differences of the closed-form solution, so a sign slip in
+the MMS algebra cannot masquerade as a discretization bug downstream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.verify.manufactured import (
+    BoussinesqMMS,
+    ScalarAdvectionDiffusionMMS,
+    polynomial_mms,
+    trig_mms,
+)
+
+RNG = np.random.default_rng(1234)
+H = 1e-5          # FD step
+FD_TOL = 1e-8     # second-order central differences at H
+
+
+def fd_grad(f, x, y, z):
+    return (
+        (f(x + H, y, z) - f(x - H, y, z)) / (2 * H),
+        (f(x, y + H, z) - f(x, y - H, z)) / (2 * H),
+        (f(x, y, z + H) - f(x, y, z - H)) / (2 * H),
+    )
+
+
+def fd_lap(f, x, y, z):
+    # A larger step than the gradient's: the 1/H^2 division amplifies
+    # round-off cancellation; H = 1e-4 balances it against truncation.
+    h = 1e-4
+    c = f(x, y, z)
+    return (
+        f(x + h, y, z) + f(x - h, y, z)
+        + f(x, y + h, z) + f(x, y - h, z)
+        + f(x, y, z + h) + f(x, y, z - h)
+        - 6.0 * c
+    ) / h**2
+
+
+def sample_points(n=64, lo=0.1, hi=0.9):
+    return (
+        RNG.uniform(lo, hi, n),
+        RNG.uniform(lo, hi, n),
+        RNG.uniform(lo, hi, n),
+    )
+
+
+class TestSteadyMMS:
+    @pytest.mark.parametrize("mms", [trig_mms(), trig_mms(2.5, 0.7, 1.2), polynomial_mms()])
+    def test_gradient_matches_finite_differences(self, mms):
+        x, y, z = sample_points()
+        gx, gy, gz = mms.gradient(x, y, z)
+        fx, fy, fz = fd_grad(mms.solution, x, y, z)
+        assert np.max(np.abs(gx - fx)) < FD_TOL
+        assert np.max(np.abs(gy - fy)) < FD_TOL
+        assert np.max(np.abs(gz - fz)) < FD_TOL
+
+    @pytest.mark.parametrize("mms", [trig_mms(), polynomial_mms()])
+    def test_laplacian_matches_finite_differences(self, mms):
+        x, y, z = sample_points()
+        lap = mms.laplacian(x, y, z)
+        # FD Laplacian carries O(H^2) * fourth-derivative error; the trig
+        # solution's fourth derivatives are O(pi^4 k^4) ~ 1e3.
+        assert np.max(np.abs(lap - fd_lap(mms.solution, x, y, z))) < 1e-4
+
+    def test_forcings_are_consistent(self):
+        mms = trig_mms()
+        x, y, z = sample_points(8)
+        f_pois = mms.poisson_forcing(x, y, z)
+        np.testing.assert_allclose(f_pois, -mms.laplacian(x, y, z), rtol=1e-14)
+        h1, h2 = 2.0, 5.0
+        f_helm = mms.helmholtz_forcing(x, y, z, h1, h2)
+        np.testing.assert_allclose(
+            f_helm, h1 * f_pois + h2 * mms.solution(x, y, z), rtol=1e-13
+        )
+
+    def test_trig_default_has_nonzero_boundary_data(self):
+        # Non-integer wavenumbers: the solve must exercise the lifting path.
+        mms = trig_mms()
+        y, z = np.array([0.37]), np.array([0.61])
+        assert abs(mms.solution(np.array([1.0]), y, z)[0]) > 1e-3
+
+
+class TestScalarAdvectionDiffusionMMS:
+    def test_source_closes_the_pde(self):
+        """s == T_t + u . grad T - kappa lap T, all by finite differences."""
+        mms = ScalarAdvectionDiffusionMMS(kappa=0.05)
+        x, y, z = sample_points(32, lo=0.2, hi=1.8)
+        t = 0.137
+        tt = (
+            mms.temperature(x, y, z, t + H) - mms.temperature(x, y, z, t - H)
+        ) / (2 * H)
+        gx, gy, gz = fd_grad(lambda a, b, c: mms.temperature(a, b, c, t), x, y, z)
+        u, v, w = mms.velocity(x, y, z, t)
+        lap = fd_lap(lambda a, b, c: mms.temperature(a, b, c, t), x, y, z)
+        residual = tt + u * gx + v * gy + w * gz - mms.kappa * lap
+        np.testing.assert_allclose(residual, mms.source(x, y, z, t), atol=1e-4)
+
+    def test_velocity_is_divergence_free(self):
+        mms = ScalarAdvectionDiffusionMMS(kappa=0.05)
+        x, y, z = sample_points(32, lo=0.2, hi=1.8)
+        t = 0.71
+        dudx = fd_grad(lambda a, b, c: mms.velocity(a, b, c, t)[0], x, y, z)[0]
+        dvdy = fd_grad(lambda a, b, c: mms.velocity(a, b, c, t)[1], x, y, z)[1]
+        dwdz = fd_grad(lambda a, b, c: mms.velocity(a, b, c, t)[2], x, y, z)[2]
+        assert np.max(np.abs(dudx + dvdy + dwdz)) < FD_TOL
+
+
+class TestBoussinesqMMS:
+    def setup_method(self):
+        self.mms = BoussinesqMMS(viscosity=0.05, conductivity=0.05)
+        self.t = 0.23
+
+    def test_momentum_forcing_closes_the_pde(self):
+        """F == u_t + (u.grad)u + grad p - nu lap u - T e_z (by FD)."""
+        mms, t = self.mms, self.t
+        x, y, z = sample_points(32, lo=0.2, hi=1.8)
+        fx, fy, fz = mms.momentum_forcing(x, y, z, t)
+        u_now = mms.velocity(x, y, z, t)
+        gp = fd_grad(lambda a, b, c: mms.pressure(a, b, c, t), x, y, z)
+        temp = mms.temperature(x, y, z, t)
+        buoy = (np.zeros_like(x), np.zeros_like(x), temp)
+        for comp, f_comp in enumerate((fx, fy, fz)):
+            ut = (
+                mms.velocity(x, y, z, t + H)[comp]
+                - mms.velocity(x, y, z, t - H)[comp]
+            ) / (2 * H)
+            g = fd_grad(lambda a, b, c: mms.velocity(a, b, c, t)[comp], x, y, z)
+            conv = u_now[0] * g[0] + u_now[1] * g[1] + u_now[2] * g[2]
+            lap = fd_lap(lambda a, b, c: mms.velocity(a, b, c, t)[comp], x, y, z)
+            residual = ut + conv + gp[comp] - mms.viscosity * lap - buoy[comp]
+            np.testing.assert_allclose(residual, f_comp, atol=1e-4)
+
+    def test_temperature_source_delegates_to_scalar_mms(self):
+        mms, t = self.mms, self.t
+        x, y, z = sample_points(8)
+        np.testing.assert_array_equal(
+            mms.temperature_source(x, y, z, t), mms.scalar.source(x, y, z, t)
+        )
+
+    def test_fields_are_periodic_on_length_two_box(self):
+        mms, t = self.mms, self.t
+        y, z = np.array([0.3]), np.array([0.9])
+        for f in (
+            lambda a: mms.velocity(a, y, z, t)[0],
+            lambda a: mms.pressure(a, y, z, t),
+            lambda a: mms.temperature(a, y, z, t),
+        ):
+            np.testing.assert_allclose(
+                f(np.array([0.0])), f(np.array([2.0])), atol=1e-14
+            )
