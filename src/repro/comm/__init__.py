@@ -15,6 +15,12 @@ the network).  This package reproduces that structure in one process:
   single-rank operator.
 """
 
+from repro.comm.reliable import (
+    CollectiveIntegrityError,
+    CommTimeoutError,
+    RetryPolicy,
+    payload_checksum,
+)
 from repro.comm.simworld import SimWorld, TrafficStats
 from repro.comm.partition import linear_partition, rcb_partition, partition_quality
 from repro.comm.distributed_gs import DistributedGatherScatter
@@ -23,6 +29,10 @@ from repro.comm.distributed_solver import DistributedConjugateGradient
 __all__ = [
     "SimWorld",
     "TrafficStats",
+    "RetryPolicy",
+    "CommTimeoutError",
+    "CollectiveIntegrityError",
+    "payload_checksum",
     "linear_partition",
     "rcb_partition",
     "partition_quality",

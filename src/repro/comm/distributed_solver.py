@@ -110,11 +110,24 @@ class DistributedConjugateGradient:
 
     # -- the solver -----------------------------------------------------------
 
-    def solve(self, b_chunks: list[np.ndarray]) -> tuple[list[np.ndarray], SolverMonitor]:
-        """Solve from a zero initial guess; returns per-rank chunks."""
+    def solve(
+        self, b_chunks: list[np.ndarray], x0: list[np.ndarray] | None = None
+    ) -> tuple[list[np.ndarray], SolverMonitor]:
+        """Solve ``A x = b``; returns per-rank chunks.
+
+        ``x0`` warm-starts the iteration (one extra operator application
+        for the true initial residual); the default is a zero guess.  The
+        elastic-recovery path resumes a solve from the last consistent
+        epoch's solution this way instead of paying full price again.
+        """
         mon = SolverMonitor(tol=self.tol, name="dist-cg")
-        x = [np.zeros_like(c) for c in b_chunks]
-        r = [c.copy() for c in b_chunks]
+        if x0 is None:
+            x = [np.zeros_like(c) for c in b_chunks]
+            r = [c.copy() for c in b_chunks]
+        else:
+            x = [np.array(c, copy=True) for c in x0]
+            ax = self._amul(x)
+            r = [b - a for b, a in zip(b_chunks, ax)]
         z = self._apply_precond(r)
         rho = self._dot(r, z)
         rnorm = float(np.sqrt(max(self._dot(r, r), 0.0)))

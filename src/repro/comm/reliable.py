@@ -1,0 +1,155 @@
+"""Reliable-delivery policy for the simulated network.
+
+The paper's campaign runs for weeks across thousands of GPUs; at that
+scale the network is not a reliable channel but a lossy one, and every
+production MPI stack layers acknowledgement/retransmission underneath the
+collectives.  This module is the simulated equivalent for
+:class:`~repro.comm.simworld.SimWorld`:
+
+* every point-to-point buffer travels in an **envelope** carrying a
+  per-edge **sequence number** and a CRC32 **payload checksum**, so the
+  receiver can tell a genuine delivery from a dropped (zeroed), corrupted
+  (bit-flipped) or stale (delayed) one;
+* failed deliveries are **retransmitted** under a :class:`RetryPolicy`
+  with exponential, seeded-jitter backoff, up to a bounded attempt
+  budget -- exhaustion raises :class:`CommTimeoutError` instead of
+  hanging, the property the chaos campaign asserts;
+* retried deliveries are **idempotent for the traffic statistics**: the
+  sequence number dedupes them, so ``TrafficStats.p2p_messages`` counts
+  logical messages once while ``retransmissions`` counts the extra wire
+  traffic separately;
+* collective results can be **integrity-checked** by replication: the
+  reduction is computed twice and the replicas' checksums compared, which
+  catches silent data corruption (SDC) planted in a collective result and
+  escalates to :class:`CollectiveIntegrityError` after bounded retries --
+  the rollback trigger.
+
+Backoff sleeping goes through an injectable ``sleep`` callable (the
+default policy never sleeps), and the jitter draws from a seeded
+generator, so hardened runs stay bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "CommTimeoutError",
+    "CollectiveIntegrityError",
+    "RetryPolicy",
+    "Envelope",
+    "payload_checksum",
+]
+
+
+class CommTimeoutError(RuntimeError):
+    """A message could not be delivered within the retry budget."""
+
+    def __init__(self, src: int, dst: int, attempts: int, detail: str = "") -> None:
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        msg = f"message {src}->{dst} undeliverable after {attempts} attempts"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class CollectiveIntegrityError(RuntimeError):
+    """Replicated collective results disagreed beyond the retry budget.
+
+    Signals silent data corruption inside a reduction; the caller (the
+    resilient runner or the recovery policy) must roll back to the last
+    consistent epoch rather than trust either replica.
+    """
+
+    def __init__(self, op: str, attempts: int) -> None:
+        self.op = op
+        self.attempts = attempts
+        super().__init__(
+            f"collective {op!r} failed replicated integrity check {attempts} times"
+        )
+
+
+def payload_checksum(buf: np.ndarray) -> int:
+    """CRC32 over the raw payload bytes (dtype- and shape-blind by design).
+
+    The checksum guards the wire representation: a dropped message
+    (delivered as zeros), a flipped bit or a stale buffer all change the
+    byte stream and therefore the CRC, which is all the receiver needs.
+    """
+    return zlib.crc32(np.ascontiguousarray(buf).tobytes())
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Delivery metadata accompanying one point-to-point buffer."""
+
+    src: int
+    dst: int
+    seq: int
+    checksum: int
+
+    def matches(self, buf: np.ndarray) -> bool:
+        return payload_checksum(buf) == self.checksum
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retransmission with exponential, seeded-jitter backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        Retransmissions allowed per message (so up to ``max_retries + 1``
+        delivery attempts) and re-runs allowed per integrity-checked
+        collective.
+    backoff, backoff_base:
+        Attempt ``n`` (1-based) waits ``backoff * backoff_base**(n-1)``
+        seconds before retrying; the default ``backoff=0`` never sleeps.
+    jitter:
+        Fractional jitter applied to each delay (``0.25`` means up to
+        +-25 %), drawn from the seeded generator so delays are
+        reproducible.
+    seed:
+        Seeds the jitter generator.
+    sleep:
+        Injectable sleep callable; tests pass a recorder.  Only invoked
+        for strictly positive delays.
+    """
+
+    max_retries: int = 3
+    backoff: float = 0.0
+    backoff_base: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=lambda _s: None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.backoff < 0.0:
+            raise ValueError("backoff must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered."""
+        base = self.backoff * self.backoff_base ** (attempt - 1)
+        if base <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            base *= 1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0))
+        return base
+
+    def wait(self, attempt: int) -> float:
+        """Sleep for :meth:`delay` via the injectable callable; returns it."""
+        d = self.delay(attempt)
+        if d > 0.0:
+            self.sleep(d)
+        return d

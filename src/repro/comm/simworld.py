@@ -13,14 +13,38 @@ recovery paths: point-to-point buffers pass through its ``deliver`` hook
 :class:`~repro.resilience.faults.RankFailedError` for scheduled rank
 deaths.  Traffic statistics count *attempted* traffic -- a dropped
 message was still sent.
+
+Two hardening layers (both off by default, so the raw world keeps its
+exact legacy traffic semantics) defend against those faults instead of
+merely suffering them:
+
+* ``retry=RetryPolicy(...)`` turns :meth:`exchange` into a reliable
+  channel: buffers travel with per-edge sequence numbers and CRC32
+  checksums, failed deliveries are retransmitted with jittered backoff,
+  and the sequence numbers keep :class:`TrafficStats` idempotent under
+  retries (logical messages count once; ``retransmissions`` counts the
+  extra wire traffic).  Exhausting the budget raises
+  :class:`~repro.comm.reliable.CommTimeoutError` -- never a hang.
+* ``verify_collectives=True`` replicates every allreduce and compares the
+  replicas' checksums, catching silent data corruption planted in a
+  collective result (``collective_sdc`` faults); persistent disagreement
+  raises :class:`~repro.comm.reliable.CollectiveIntegrityError`, the
+  rollback trigger for :class:`~repro.resilience.distributed` recovery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+from repro.comm.reliable import (
+    CollectiveIntegrityError,
+    CommTimeoutError,
+    RetryPolicy,
+    payload_checksum,
+)
 
 if TYPE_CHECKING:  # avoid runtime repro.resilience / observability dependencies
     from repro.observability.fleet.rank import FleetTelemetry
@@ -46,6 +70,14 @@ class TrafficStats:
     p2p_messages: int = 0
     p2p_bytes: int = 0
     barrier_calls: int = 0
+    #: Reliability counters (populated only by a hardened world): extra
+    #: wire sends beyond the first attempt, stale deliveries recognized by
+    #: their sequence number, messages that exhausted the retry budget,
+    #: and collective replicas that failed the integrity comparison.
+    retransmissions: int = 0
+    duplicates: int = 0
+    timeouts: int = 0
+    integrity_failures: int = 0
     sent_messages: dict[int, int] = field(default_factory=dict)
     sent_bytes: dict[int, int] = field(default_factory=dict)
     recv_messages: dict[int, int] = field(default_factory=dict)
@@ -75,10 +107,39 @@ class TrafficStats:
         self.p2p_messages = 0
         self.p2p_bytes = 0
         self.barrier_calls = 0
+        self.retransmissions = 0
+        self.duplicates = 0
+        self.timeouts = 0
+        self.integrity_failures = 0
         self.sent_messages.clear()
         self.sent_bytes.clear()
         self.recv_messages.clear()
         self.recv_bytes.clear()
+
+    def absorb(self, other: "TrafficStats") -> None:
+        """Fold another stats object into this one (campaign accounting).
+
+        Elastic recovery rebuilds the :class:`SimWorld`; the chaos report
+        wants totals across every world a scenario lived in, so the old
+        world's counters are absorbed before it is discarded.
+        """
+        self.allreduce_calls += other.allreduce_calls
+        self.allreduce_bytes += other.allreduce_bytes
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.barrier_calls += other.barrier_calls
+        self.retransmissions += other.retransmissions
+        self.duplicates += other.duplicates
+        self.timeouts += other.timeouts
+        self.integrity_failures += other.integrity_failures
+        for mine, theirs in (
+            (self.sent_messages, other.sent_messages),
+            (self.sent_bytes, other.sent_bytes),
+            (self.recv_messages, other.recv_messages),
+            (self.recv_bytes, other.recv_bytes),
+        ):
+            for rank, n in theirs.items():
+                mine[rank] = mine.get(rank, 0) + n
 
 
 class SimWorld:
@@ -89,6 +150,8 @@ class SimWorld:
         size: int,
         fault_injector: "FaultInjector | None" = None,
         fleet: "FleetTelemetry | None" = None,
+        retry: RetryPolicy | None = None,
+        verify_collectives: bool = False,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -98,6 +161,15 @@ class SimWorld:
         # Per-rank telemetry (repro.observability.fleet); also settable
         # after construction via FleetTelemetry.attach(world).
         self.fleet = fleet
+        # Reliable-delivery policy for exchange() and bounded integrity
+        # retries for verified collectives; None keeps the raw channel.
+        self.retry = retry
+        # Replicate allreduces and compare replica checksums (SDC guard).
+        self.verify_collectives = verify_collectives
+        # Per-edge sequence numbers and the previous payload checksum,
+        # for retransmission dedup and stale-delivery classification.
+        self._seq: dict[tuple[int, int], int] = {}
+        self._edge_crc: dict[tuple[int, int], int] = {}
 
     def _check(self, per_rank: list) -> None:
         if len(per_rank) != self.size:
@@ -107,6 +179,43 @@ class SimWorld:
         if self.fault_injector is not None:
             self.fault_injector.on_collective(op)
 
+    # -- collective result integrity -------------------------------------------
+
+    def _observe_result(self, op: str, result: np.ndarray) -> np.ndarray:
+        """Pass a collective result through the injector's SDC hook."""
+        inj = self.fault_injector
+        if inj is None or not hasattr(inj, "deliver_collective"):
+            return result
+        return inj.deliver_collective(op, result)
+
+    def _collective_result(
+        self, op: str, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Produce a collective result, replicated-checksum verified if enabled.
+
+        With ``verify_collectives`` the reduction runs twice and the two
+        replicas' payload checksums are compared: an SDC planted in either
+        replica surfaces as a mismatch, the collective is retried (the
+        transient-fault model: scheduled faults fire once), and persistent
+        disagreement raises :class:`CollectiveIntegrityError` for the
+        recovery layer to roll back on.
+        """
+        if not self.verify_collectives:
+            return self._observe_result(op, compute())
+        budget = self.retry.max_retries if self.retry is not None else 1
+        attempts = 0
+        while True:
+            attempts += 1
+            first = self._observe_result(op, compute())
+            second = self._observe_result(op, compute())
+            if payload_checksum(first) == payload_checksum(second):
+                return first
+            self.stats.integrity_failures += 1
+            if attempts > budget:
+                raise CollectiveIntegrityError(op, attempts)
+            if self.retry is not None:
+                self.retry.wait(attempts)
+
     # -- collectives ----------------------------------------------------------
 
     def allreduce_scalar(self, values: list[float], op: str = "sum") -> float:
@@ -115,13 +224,17 @@ class SimWorld:
         self._collective("allreduce_scalar")
         self.stats.allreduce_calls += 1
         self.stats.allreduce_bytes += 8 * self.size
-        if op == "sum":
-            return float(np.sum(np.asarray(values, dtype=np.float64)))
-        if op == "max":
-            return float(np.max(values))
-        if op == "min":
-            return float(np.min(values))
-        raise ValueError(f"unknown op {op!r}")
+
+        def compute() -> np.ndarray:
+            if op == "sum":
+                return np.asarray([np.sum(np.asarray(values, dtype=np.float64))])
+            if op == "max":
+                return np.asarray([np.max(values)], dtype=np.float64)
+            if op == "min":
+                return np.asarray([np.min(values)], dtype=np.float64)
+            raise ValueError(f"unknown op {op!r}")
+
+        return float(self._collective_result("allreduce_scalar", compute)[0])
 
     def allreduce_array(self, arrays: list[np.ndarray], op: str = "sum") -> np.ndarray:
         """Elementwise allreduce of equally-shaped per-rank arrays."""
@@ -129,14 +242,18 @@ class SimWorld:
         self._collective("allreduce_array")
         self.stats.allreduce_calls += 1
         self.stats.allreduce_bytes += sum(a.nbytes for a in arrays)
-        stack = np.stack(arrays)
-        if op == "sum":
-            return stack.sum(axis=0)
-        if op == "max":
-            return stack.max(axis=0)
-        if op == "min":
-            return stack.min(axis=0)
-        raise ValueError(f"unknown op {op!r}")
+
+        def compute() -> np.ndarray:
+            stack = np.stack(arrays)
+            if op == "sum":
+                return stack.sum(axis=0)
+            if op == "max":
+                return stack.max(axis=0)
+            if op == "min":
+                return stack.min(axis=0)
+            raise ValueError(f"unknown op {op!r}")
+
+        return self._collective_result("allreduce_array", compute)
 
     def exchange(
         self, sends: dict[tuple[int, int], np.ndarray]
@@ -148,6 +265,11 @@ class SimWorld:
         With a fault injector attached, the delivered buffer may be
         zeroed (drop), bit-flipped (corruption) or replaced by the
         previous buffer sent on that edge (delayed delivery).
+
+        With a :class:`~repro.comm.reliable.RetryPolicy` attached
+        (``retry=``), every buffer is validated against its envelope
+        checksum and retransmitted on mismatch -- see :meth:`_deliver` --
+        so the faults above are survived instead of silently absorbed.
         """
         out = {}
         for (src, dst), buf in sends.items():
@@ -155,11 +277,49 @@ class SimWorld:
                 raise ValueError(f"invalid ranks in send ({src}->{dst})")
             if src != dst:
                 self.stats.record_p2p(src, dst, buf.nbytes)
+            if self.retry is not None:
+                delivered = self._deliver(src, dst, buf)
+            elif self.fault_injector is not None:
+                delivered = self.fault_injector.deliver(src, dst, buf)
+            else:
+                delivered = buf
+            out[(src, dst)] = np.array(delivered, copy=True)
+        return out
+
+    def _deliver(self, src: int, dst: int, buf: np.ndarray) -> np.ndarray:
+        """Reliable delivery of one buffer: checksum, dedupe, retransmit.
+
+        The logical message was already counted by the caller; every
+        *extra* wire attempt increments ``stats.retransmissions`` and a
+        delivery recognized as a stale earlier sequence number increments
+        ``stats.duplicates`` (and is discarded -- idempotence).  Exhausting
+        ``retry.max_retries`` retransmissions raises
+        :class:`CommTimeoutError`.
+        """
+        edge = (src, dst)
+        seq = self._seq.get(edge, 0)
+        self._seq[edge] = seq + 1
+        crc = payload_checksum(buf)
+        prev_crc = self._edge_crc.get(edge)
+        self._edge_crc[edge] = crc
+        attempts = 0
+        while True:
+            attempts += 1
             delivered = buf
             if self.fault_injector is not None:
                 delivered = self.fault_injector.deliver(src, dst, buf)
-            out[(src, dst)] = np.array(delivered, copy=True)
-        return out
+            got = payload_checksum(delivered)
+            if got == crc:
+                return delivered
+            if prev_crc is not None and got == prev_crc:
+                # Stale delivery of the previous sequence number: a
+                # duplicate, not new data -- drop it and retransmit.
+                self.stats.duplicates += 1
+            if attempts > self.retry.max_retries:
+                self.stats.timeouts += 1
+                raise CommTimeoutError(src, dst, attempts, "checksum never validated")
+            self.stats.retransmissions += 1
+            self.retry.wait(attempts)
 
     def barrier(self) -> None:
         self._collective("barrier")

@@ -68,7 +68,8 @@ PHASES: tuple[str, ...] = (
 #: flight-recorder lifecycle (arm, dump, divergence).  The ``verify.``
 #: family wraps the verification subsystem's convergence studies and
 #: cross-backend checks (``verify.study``, ``verify.case``,
-#: ``verify.equivalence``).
+#: ``verify.equivalence``).  The ``chaos.`` family wraps the chaos-testing
+#: harness's scenario runs (``chaos.campaign``, ``chaos.scenario``).
 SPAN_PREFIXES: tuple[str, ...] = (
     "krylov.",
     "resilience.",
@@ -77,6 +78,7 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "anomaly.",
     "flight.",
     "verify.",
+    "chaos.",
 )
 
 # -- metric taxonomy ---------------------------------------------------------
@@ -96,6 +98,7 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "anomaly.",
     "flight.",
     "verify.",
+    "chaos.",
 )
 
 

@@ -21,6 +21,15 @@ solver.  This package reproduces that operational layer:
   back off, and retry within a bounded attempt budget.  Everything that
   happens is recorded in a structured
   :class:`~repro.resilience.events.EventLog`.
+
+Two subpackages extend this to the simulated multi-rank fleet:
+
+* :mod:`repro.resilience.distributed` -- coordinated sharded checkpoints
+  (two-phase epoch commit), elastic rank recovery (warm replacement or
+  shrink-and-repartition) and the reference recoverable workload;
+* :mod:`repro.resilience.chaos` -- seeded chaos campaigns (rank kills,
+  message storms, SDC bit flips) with survival/MTTR reporting, runnable
+  as ``python -m repro.resilience.chaos``.
 """
 
 from repro.resilience.events import Event, EventLog

@@ -1,0 +1,30 @@
+"""Chaos testing for the distributed resilience layer.
+
+Seeded fault campaigns against the reference distributed workload: kill
+rank *k* at step *s*, drop up to 20% of messages, flip a bit in an
+exchange buffer or an allreduce result -- then assert the run survives
+and converges to the fault-free answer.  The harness emits a
+survival/MTTR report, counts land in ``chaos.*`` metrics, and failing
+scenarios dump flight-recorder bundles for post-mortems.
+
+Run the committed campaign with ``python -m repro.resilience.chaos``.
+"""
+
+from repro.resilience.chaos.harness import CampaignResult, ChaosHarness, ScenarioResult
+from repro.resilience.chaos.report import (
+    campaign_to_dict,
+    render_report,
+    write_json_report,
+)
+from repro.resilience.chaos.scenarios import ChaosScenario, default_campaign
+
+__all__ = [
+    "CampaignResult",
+    "ChaosHarness",
+    "ChaosScenario",
+    "ScenarioResult",
+    "campaign_to_dict",
+    "default_campaign",
+    "render_report",
+    "write_json_report",
+]

@@ -22,7 +22,12 @@ import pathlib
 import re
 from dataclasses import dataclass, field
 
-from repro.core.output import CheckpointCorruptError, load_checkpoint, write_checkpoint
+from repro.core.output import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    verify_checkpoint,
+    write_checkpoint,
+)
 
 __all__ = ["CheckpointRing", "RingEntry"]
 
@@ -66,6 +71,16 @@ class CheckpointRing:
         :func:`~repro.core.output.load_checkpoint`.  Custom hooks must
         raise :class:`CheckpointCorruptError` on damaged input for the
         fallback walk to engage.
+    verify_on_save:
+        Re-read and checksum-verify every entry immediately after writing
+        it (via ``verify_fn``).  Catches write-path corruption -- a bad
+        disk block, a torn buffer -- at save time, when the in-memory
+        state still exists, instead of at restore time when it is the
+        only copy.  A failed verification evicts the fresh entry and
+        raises :class:`CheckpointCorruptError`.
+    verify_fn:
+        ``verify_fn(source)`` used by ``verify_on_save``; defaults to
+        :func:`~repro.core.output.verify_checkpoint`.
     """
 
     def __init__(
@@ -75,6 +90,8 @@ class CheckpointRing:
         prefix: str = "ck",
         write_fn=write_checkpoint,
         load_fn=load_checkpoint,
+        verify_on_save: bool = False,
+        verify_fn=verify_checkpoint,
     ) -> None:
         if capacity < 1:
             raise ValueError("ring capacity must be >= 1")
@@ -83,6 +100,8 @@ class CheckpointRing:
         self.prefix = prefix
         self.write_fn = write_fn
         self.load_fn = load_fn
+        self.verify_on_save = verify_on_save
+        self.verify_fn = verify_fn
         self.entries: list[RingEntry] = []
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -110,6 +129,12 @@ class CheckpointRing:
             buf = io.BytesIO()
             self.write_fn(sim, buf)
             entry = RingEntry(step=step, time=time, payload=buf.getvalue(), meta=meta)
+        if self.verify_on_save:
+            try:
+                self.verify_fn(entry.source())
+            except CheckpointCorruptError:
+                self._evict(entry)
+                raise
         # A re-save at an existing step (e.g. restart baseline) replaces it.
         self.entries = [e for e in self.entries if e.step != step]
         self.entries.append(entry)
@@ -155,9 +180,37 @@ class CheckpointRing:
             )
         return loaded, skipped
 
+    def restore_entry(self, sim, step: int) -> RingEntry:
+        """Restore ``sim`` from the ring entry at exactly ``step``.
+
+        The targeted counterpart of :meth:`restore_latest` -- "rewind to
+        the checkpoint *before* the bad segment", not just "the newest".
+        Raises :class:`KeyError` when the ring holds no such step and
+        :class:`CheckpointCorruptError` (after evicting the entry) when
+        it no longer loads.
+        """
+        for entry in self.entries:
+            if entry.step == step:
+                break
+        else:
+            steps = [e.step for e in self.entries]
+            raise KeyError(f"no ring entry at step {step}; ring holds {steps}")
+        try:
+            self.load_fn(sim, entry.source())
+        except CheckpointCorruptError:
+            self.entries.remove(entry)
+            self._evict(entry)
+            raise
+        return entry
+
     @property
     def latest(self) -> RingEntry | None:
         return self.entries[-1] if self.entries else None
+
+    @property
+    def steps(self) -> list[int]:
+        """Steps of the retained entries, oldest first."""
+        return [e.step for e in self.entries]
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -1,0 +1,54 @@
+"""Distributed fault tolerance for the simulated rank world.
+
+The single-process resilience layer (checkpoint ring, rollback-and-retry)
+protects one :class:`~repro.core.simulation.Simulation`; the paper's
+production runs are SPMD jobs on thousands of GPUs, where the failure
+unit is a *rank* and the checkpoint unit is a *shard*.  This package adds
+the distributed half:
+
+* :class:`~repro.resilience.distributed.shards.ShardedCheckpointStore` --
+  coordinated per-rank shard checkpoints with per-shard checksums and a
+  two-phase stage-then-commit epoch marker, so a crash mid-save can never
+  produce a mixed-epoch restore and a corrupt shard falls back to the
+  last globally consistent epoch;
+* :class:`~repro.resilience.distributed.recovery.WorldRecovery` -- the
+  elastic recovery policy that escalates
+  :class:`~repro.resilience.faults.RankFailedError` (and the hardened
+  channel's timeout/integrity errors) into either a *warm replacement* of
+  the dead rank from its shard or a *shrink* of the world with
+  repartitioning of the surviving elements;
+* :class:`~repro.resilience.distributed.workload.DistributedThermalWorkload`
+  -- the reference recoverable application (implicit heat conduction
+  solved step-by-step with
+  :class:`~repro.comm.distributed_solver.DistributedConjugateGradient`)
+  that the chaos harness (:mod:`repro.resilience.chaos`) drives through
+  fault campaigns.
+"""
+
+from repro.resilience.distributed.shards import (
+    EpochManifest,
+    EpochWriter,
+    ShardCorruptError,
+    ShardedCheckpointStore,
+)
+from repro.resilience.distributed.recovery import (
+    RecoveryExhaustedError,
+    RecoveryOutcome,
+    WorldRecovery,
+)
+from repro.resilience.distributed.workload import (
+    DistributedThermalWorkload,
+    WorkloadResult,
+)
+
+__all__ = [
+    "EpochManifest",
+    "EpochWriter",
+    "ShardCorruptError",
+    "ShardedCheckpointStore",
+    "RecoveryExhaustedError",
+    "RecoveryOutcome",
+    "WorldRecovery",
+    "DistributedThermalWorkload",
+    "WorkloadResult",
+]

@@ -19,11 +19,24 @@ three hook surfaces:
 
 Scheduled faults fire exactly once, so a rollback that replays the same
 steps does not re-trigger them -- the transient-fault model.
+
+Two additions serve the chaos harness (:mod:`repro.resilience.chaos`):
+
+* **targeted collective faults** -- a ``rank_failure`` (or
+  ``collective_sdc``) entry with ``op="allreduce"`` indexes the Nth
+  *allreduce* rather than the Nth collective of any kind, so "kill rank 2
+  at its 5th allreduce" is expressible independent of how many barriers
+  interleave;
+* **replay logs** -- :meth:`FaultInjector.export_replay` captures the
+  seed, rates, schedule and every fired event as a JSON-able dict, and
+  :meth:`FaultInjector.from_replay` rebuilds an injector that reproduces
+  the identical fault sequence, so any chaos run can be replayed from its
+  report.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -45,20 +58,26 @@ class Fault:
 
     ``kind`` selects the mechanism and which trigger field applies:
 
-    ========== ============ =========================================
-    kind        trigger      effect
-    ========== ============ =========================================
-    drop        at_call      p2p message ``at_call`` delivers zeros
-    corrupt     at_call      p2p message ``at_call`` gets a bit flip
-    delay       at_call      p2p message ``at_call`` delivers stale data
-    rank_failure at_call     collective ``at_call`` raises RankFailedError
-    sdc         at_step      field ``target`` corrupted once step >= at_step
-    ========== ============ =========================================
+    ============== ============ =========================================
+    kind            trigger      effect
+    ============== ============ =========================================
+    drop            at_call      p2p message ``at_call`` delivers zeros
+    corrupt         at_call      p2p message ``at_call`` gets a bit flip
+    delay           at_call      p2p message ``at_call`` delivers stale data
+    rank_failure    at_call      collective ``at_call`` raises RankFailedError
+    collective_sdc  at_call      collective *result* ``at_call`` gets a bit flip
+    sdc             at_step      field ``target`` corrupted once step >= at_step
+    ============== ============ =========================================
 
     ``at_call`` indexes the injector's own per-surface call counters
-    (p2p messages for drop/corrupt/delay, collectives for rank_failure).
-    ``mode`` applies to sdc: ``"bitflip"`` (seeded XOR of one bit in one
-    element), ``"nan"`` or ``"huge"``.
+    (p2p messages for drop/corrupt/delay, collective entries for
+    rank_failure, collective results for collective_sdc).  For the two
+    collective kinds, ``op`` narrows the counter to one collective family
+    (``"allreduce"``, ``"barrier"``, ``"gather"``): ``op="allreduce",
+    at_call=4`` fires at the fifth *allreduce* regardless of interleaved
+    barriers, while ``op=None`` keeps the legacy any-collective indexing.
+    ``mode`` applies to sdc/collective_sdc: ``"bitflip"`` (seeded XOR of
+    one bit in one element), ``"nan"`` or ``"huge"``.
     """
 
     kind: str
@@ -67,6 +86,7 @@ class Fault:
     target: str = "temperature"
     rank: int = 0
     mode: str = "bitflip"
+    op: str | None = None
 
 
 @dataclass
@@ -103,6 +123,7 @@ class FaultInjector:
         corrupt_rate: float = 0.0,
         delay_rate: float = 0.0,
     ) -> None:
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.schedule = list(schedule)
         self.drop_rate = drop_rate
@@ -112,6 +133,12 @@ class FaultInjector:
         self._fired: set[int] = set()
         self._p2p_calls = 0
         self._collective_calls = 0
+        self._result_calls = 0
+        # Per-family collective counters ("allreduce", "barrier", "gather")
+        # for op-targeted faults; separate entry/result counters mirror the
+        # two hook surfaces.
+        self._op_calls: dict[str, int] = {}
+        self._op_result_calls: dict[str, int] = {}
         # Last buffer seen per (src, dst) edge, for stale ("delayed") delivery.
         self._last_sent: dict[tuple[int, int], np.ndarray] = {}
 
@@ -137,16 +164,73 @@ class FaultInjector:
         self.events.append(ev)
         return ev
 
+    @staticmethod
+    def _op_family(op: str) -> str:
+        """Collective family of an op name: ``allreduce_scalar`` -> ``allreduce``."""
+        return op.split("_", 1)[0]
+
+    def _take_collective(
+        self, kinds: tuple[str, ...], idx: int, family: str, op_idx: int
+    ) -> Fault | None:
+        """Pop the first pending collective fault matching this call.
+
+        ``op=None`` entries match against the any-collective counter
+        ``idx`` (legacy semantics); op-targeted entries match against the
+        per-family counter ``op_idx``.
+        """
+        for i, f in enumerate(self.schedule):
+            if i in self._fired or f.kind not in kinds:
+                continue
+            if f.op is None:
+                if f.at_call != idx:
+                    continue
+            elif f.op != family or f.at_call != op_idx:
+                continue
+            self._fired.add(i)
+            return f
+        return None
+
     # -- collective hook (SimWorld.allreduce_* / barrier / gather) -------------
 
     def on_collective(self, op: str) -> None:
         """Raise :class:`RankFailedError` if a scheduled rank failure fires."""
+        family = self._op_family(op)
         idx = self._collective_calls
+        op_idx = self._op_calls.get(family, 0)
         self._collective_calls += 1
-        f = self._take_scheduled(("rank_failure",), at_call=idx)
+        self._op_calls[family] = op_idx + 1
+        f = self._take_collective(("rank_failure",), idx, family, op_idx)
         if f is not None:
-            self._record("rank_failure", idx, f"rank {f.rank} died in {op}", rank=f.rank, op=op)
+            where = f"{op}" if f.op is None else f"{family} #{op_idx}"
+            self._record(
+                "rank_failure", idx, f"rank {f.rank} died in {where}", rank=f.rank, op=op
+            )
             raise RankFailedError(f.rank, op)
+
+    # -- collective-result hook (replicated-checksum integrity check) ----------
+
+    def deliver_collective(self, op: str, result: np.ndarray) -> np.ndarray:
+        """Return the collective result a rank actually observes.
+
+        Called once per *replica* by :class:`~repro.comm.simworld.SimWorld`
+        when collective verification is enabled; a scheduled
+        ``collective_sdc`` entry corrupts exactly the replica whose call
+        index it names, so the replicated-checksum comparison detects it.
+        """
+        family = self._op_family(op)
+        idx = self._result_calls
+        op_idx = self._op_result_calls.get(family, 0)
+        self._result_calls += 1
+        self._op_result_calls[family] = op_idx + 1
+        f = self._take_collective(("collective_sdc",), idx, family, op_idx)
+        if f is None:
+            return result
+        out = np.array(result, copy=True)
+        detail = self._flip_bit(out, mode=f.mode)
+        self._record(
+            "collective_sdc", idx, f"SDC in {op} result", op=op, **detail
+        )
+        return out
 
     # -- point-to-point hook (SimWorld.exchange) -------------------------------
 
@@ -243,3 +327,38 @@ class FaultInjector:
         if target in ("ux", "uy", "uz"):
             return {"ux": sim.fluid.u, "uy": sim.fluid.v, "uz": sim.fluid.w}[target][0]
         raise ValueError(f"unknown SDC target {target!r}")
+
+    # -- deterministic replay ----------------------------------------------------
+
+    def export_replay(self) -> dict:
+        """JSON-able record sufficient to reproduce this injector's faults.
+
+        Captures the constructor inputs (seed, rates, schedule) plus the
+        event list of what actually fired.  An injector rebuilt with
+        :meth:`from_replay` and driven through the same call sequence
+        produces bit-identical faults -- the chaos harness stores one of
+        these per scenario so any campaign entry is replayable.
+        """
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "delay_rate": self.delay_rate,
+            "schedule": [asdict(f) for f in self.schedule],
+            "events": [asdict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_replay(cls, replay: dict) -> "FaultInjector":
+        """Rebuild a fresh injector from an :meth:`export_replay` record.
+
+        Only the inputs are restored (seed, rates, schedule); the event
+        list in the record documents the original run and is left behind.
+        """
+        return cls(
+            seed=int(replay.get("seed", 0)),
+            schedule=[Fault(**f) for f in replay.get("schedule", [])],
+            drop_rate=float(replay.get("drop_rate", 0.0)),
+            corrupt_rate=float(replay.get("corrupt_rate", 0.0)),
+            delay_rate=float(replay.get("delay_rate", 0.0)),
+        )

@@ -153,6 +153,63 @@ class TestCheckpointRing:
         ring2 = CheckpointRing(tmp_path, capacity=3)
         assert [e.step for e in ring2.entries] == [2, 4]
 
+    def test_restore_entry_targets_exact_step(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=3)
+        sim = Simulation(small_case())
+        refs = {}
+        for _ in range(3):
+            sim.run(n_steps=1)
+            ring.save(sim)
+            refs[sim.step_count] = sim.temperature.copy()
+        assert ring.steps == [1, 2, 3]
+        entry = ring.restore_entry(sim, 2)
+        assert entry.step == 2
+        assert sim.step_count == 2
+        assert np.array_equal(sim.temperature, refs[2])
+
+    def test_restore_entry_unknown_step_raises_keyerror(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=3)
+        sim = Simulation(small_case())
+        sim.run(n_steps=1)
+        ring.save(sim)
+        with pytest.raises(KeyError, match="no ring entry at step 9"):
+            ring.restore_entry(sim, 9)
+
+    def test_restore_entry_corrupt_evicts_and_raises(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=3)
+        sim = Simulation(small_case())
+        sim.run(n_steps=1)
+        entry = ring.save(sim)
+        entry.path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointCorruptError):
+            ring.restore_entry(sim, 1)
+        assert ring.steps == []
+        assert not entry.path.exists()
+
+    def test_verify_on_save_accepts_good_writes(self, tmp_path):
+        ring = CheckpointRing(tmp_path, capacity=2, verify_on_save=True)
+        sim = Simulation(small_case())
+        sim.run(n_steps=1)
+        ring.save(sim)
+        assert ring.steps == [1]
+
+    def test_verify_on_save_catches_torn_write(self, tmp_path):
+        def torn_write(sim, target):
+            write_checkpoint(sim, target)
+            raw = target.read_bytes()
+            target.write_bytes(raw[: len(raw) // 2])
+
+        ring = CheckpointRing(
+            tmp_path, capacity=2, write_fn=torn_write, verify_on_save=True
+        )
+        sim = Simulation(small_case())
+        sim.run(n_steps=1)
+        with pytest.raises(CheckpointCorruptError):
+            ring.save(sim)
+        # The damaged entry never enters the ring and its file is gone.
+        assert ring.steps == []
+        assert list(tmp_path.glob("ck*.npz")) == []
+
 
 class TestAdaptiveDtRestart:
     """Restart mid-run must reproduce the adaptive dt sequence bit-for-bit."""

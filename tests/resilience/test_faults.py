@@ -147,3 +147,72 @@ class TestSDC:
 
         with pytest.raises(ValueError, match="unknown SDC target"):
             inj.apply_field_faults(FakeSim())
+
+
+class TestTargetedCollectiveFaults:
+    def test_op_targeted_failure_ignores_other_collectives(self):
+        # "Kill rank 1 at the third *allreduce*" regardless of barriers.
+        inj = FaultInjector(
+            schedule=[Fault("rank_failure", at_call=2, rank=1, op="allreduce")]
+        )
+        w = SimWorld(2, fault_injector=inj)
+        vals = [1.0, 2.0]
+        w.allreduce_scalar(vals)  # allreduce 0
+        w.barrier()
+        w.barrier()
+        w.allreduce_scalar(vals)  # allreduce 1
+        w.barrier()
+        with pytest.raises(RankFailedError) as exc_info:
+            w.allreduce_scalar(vals)  # allreduce 2
+        assert exc_info.value.rank == 1
+
+    def test_barrier_targeted_failure(self):
+        inj = FaultInjector(schedule=[Fault("rank_failure", at_call=1, op="barrier")])
+        w = SimWorld(2, fault_injector=inj)
+        w.allreduce_scalar([1.0, 2.0])
+        w.barrier()  # barrier 0
+        w.allreduce_scalar([1.0, 2.0])
+        with pytest.raises(RankFailedError):
+            w.barrier()  # barrier 1
+
+    def test_scalar_and_array_allreduce_share_the_family_counter(self):
+        inj = FaultInjector(
+            schedule=[Fault("rank_failure", at_call=1, op="allreduce")]
+        )
+        w = SimWorld(2, fault_injector=inj)
+        w.allreduce_scalar([1.0, 2.0])  # allreduce 0 (scalar flavour)
+        with pytest.raises(RankFailedError):
+            w.allreduce_array([np.ones(2), np.ones(2)])  # allreduce 1
+
+
+class TestReplayLog:
+    def test_replay_round_trip_reproduces_faults(self):
+        def drive(inj):
+            w = SimWorld(2, fault_injector=inj)
+            for i in range(30):
+                w.exchange({(0, 1): np.full(4, float(i + 1))})
+            return [(e.kind, e.index) for e in inj.events]
+
+        original = FaultInjector(
+            seed=11,
+            schedule=[Fault("drop", at_call=3), Fault("corrupt", at_call=7)],
+            drop_rate=0.1,
+            delay_rate=0.1,
+        )
+        events = drive(original)
+        replay = original.export_replay()
+        assert replay["seed"] == 11
+        assert len(replay["schedule"]) == 2
+        assert [e["kind"] for e in replay["events"]] == [k for k, _ in events]
+
+        rebuilt = FaultInjector.from_replay(replay)
+        assert drive(rebuilt) == events
+
+    def test_replay_is_json_serializable(self):
+        import json
+
+        inj = FaultInjector(seed=4, schedule=[Fault("drop", at_call=0)])
+        w = SimWorld(2, fault_injector=inj)
+        w.exchange({(0, 1): np.ones(2)})
+        text = json.dumps(inj.export_replay())
+        assert json.loads(text) == inj.export_replay()

@@ -1,0 +1,185 @@
+"""Elastic rank recovery over the distributed thermal workload."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CollectiveIntegrityError, RetryPolicy
+from repro.resilience import Fault, FaultInjector
+from repro.resilience.distributed import (
+    DistributedThermalWorkload,
+    RecoveryExhaustedError,
+    ShardedCheckpointStore,
+    WorldRecovery,
+)
+
+N_STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    return DistributedThermalWorkload(nranks=4, seed=3).run(N_STEPS)
+
+
+def faulted_workload(schedule, policy="warm_replace", nranks=4, **kwargs):
+    store = ShardedCheckpointStore()
+    recovery = WorldRecovery(store, policy=policy)
+    injector = FaultInjector(seed=5, schedule=list(schedule))
+    return DistributedThermalWorkload(
+        nranks=nranks,
+        seed=3,
+        store=store,
+        recovery=recovery,
+        fault_injector=injector,
+        **kwargs,
+    )
+
+
+class TestWarmReplace:
+    def test_kill_rank_mid_cg_matches_fault_free_nu(self, fault_free):
+        # The rank dies inside the CG's allreduce stream -- mid-solve, the
+        # acceptance scenario.  Recovery must reproduce the fault-free
+        # Nusselt proxy within tolerance.
+        w = faulted_workload(
+            [Fault("rank_failure", rank=2, at_call=40, op="allreduce")]
+        )
+        result = w.run(N_STEPS)
+        assert result.steps == N_STEPS
+        assert result.recoveries == 1
+        assert result.world_size == 4
+        assert result.nu_final == pytest.approx(fault_free.nu_final, abs=1e-10)
+        incident = result.incidents[0]
+        assert incident["policy"] == "warm_replace"
+        assert incident["failed_rank"] == 2
+
+    def test_nu_history_consistent_after_rollback(self, fault_free):
+        w = faulted_workload(
+            [Fault("rank_failure", rank=1, at_call=200, op="allreduce")]
+        )
+        result = w.run(N_STEPS)
+        # Replayed steps overwrite their rolled-back entries: the final
+        # history has exactly one entry per step, matching fault-free.
+        assert [s for s, _ in result.nu_history] == [s for s, _ in fault_free.nu_history]
+        for (_, nu), (_, ref) in zip(result.nu_history, fault_free.nu_history):
+            assert nu == pytest.approx(ref, abs=1e-10)
+
+
+class TestShrink:
+    def test_world_shrinks_and_repartitions(self, fault_free):
+        w = faulted_workload(
+            [Fault("rank_failure", rank=1, at_call=40, op="allreduce")],
+            policy="shrink",
+        )
+        result = w.run(N_STEPS)
+        assert result.world_size == 3
+        assert w.world.size == 3
+        assert len(w.t_chunks) == 3
+        # Repartitioned surviving ranks own every element exactly once.
+        owned = np.concatenate([w.dgs.rank_elements[r] for r in range(3)])
+        assert sorted(owned.tolist()) == list(range(w.space.mesh.nelv))
+        assert result.nu_final == pytest.approx(fault_free.nu_final, abs=1e-8)
+
+    def test_double_failure_shrinks_twice(self, fault_free):
+        w = faulted_workload(
+            [
+                Fault("rank_failure", rank=2, at_call=40, op="allreduce"),
+                Fault("rank_failure", rank=0, at_call=260, op="allreduce"),
+            ],
+            policy="shrink",
+        )
+        result = w.run(N_STEPS)
+        assert result.world_size == 2
+        assert result.recoveries == 2
+        assert result.nu_final == pytest.approx(fault_free.nu_final, abs=1e-8)
+
+    def test_shrink_respects_min_size(self):
+        store = ShardedCheckpointStore()
+        recovery = WorldRecovery(store, policy="shrink", min_size=2)
+        injector = FaultInjector(
+            seed=5,
+            schedule=[
+                Fault("rank_failure", rank=0, at_call=40, op="allreduce"),
+                Fault("rank_failure", rank=1, at_call=260, op="allreduce"),
+            ],
+        )
+        w = DistributedThermalWorkload(
+            nranks=3, seed=3, store=store, recovery=recovery, fault_injector=injector
+        )
+        result = w.run(N_STEPS)
+        # 3 -> 2, then the floor holds: the second failure warm-replaces.
+        assert result.world_size == 2
+        assert [o.policy for o in recovery.outcomes] == ["shrink", "warm_replace"]
+
+
+class TestEscalation:
+    def test_checkpoint_barrier_death_aborts_staging(self, fault_free):
+        # Dying inside the checkpoint's commit barrier must abort the
+        # staged epoch: recovery falls back to the previous committed one.
+        w = faulted_workload([Fault("rank_failure", rank=1, at_call=1, op="barrier")])
+        result = w.run(N_STEPS)
+        assert result.recoveries == 1
+        assert result.nu_final == pytest.approx(fault_free.nu_final, abs=1e-10)
+        assert w.store.aborted == []  # in-memory store: staging simply dropped
+
+    def test_collective_integrity_error_triggers_rollback(self, fault_free):
+        # Corrupt one replica of both attempts of the same allreduce so
+        # the verify-recompute budget exhausts and recovery rolls back.
+        w = faulted_workload(
+            [
+                Fault("collective_sdc", at_call=30, op="allreduce"),
+                Fault("collective_sdc", at_call=32, op="allreduce"),
+            ],
+            verify_collectives=True,
+        )
+        result = w.run(N_STEPS)
+        assert result.recoveries == 1
+        assert result.incidents[0]["cause"] == "CollectiveIntegrityError"
+        assert result.nu_final == pytest.approx(fault_free.nu_final, abs=1e-10)
+
+    def test_without_recovery_failures_propagate(self):
+        injector = FaultInjector(
+            seed=5,
+            schedule=[
+                Fault("collective_sdc", at_call=0, op="allreduce"),
+                Fault("collective_sdc", at_call=2, op="allreduce"),
+            ],
+        )
+        w = DistributedThermalWorkload(
+            nranks=2, seed=3, fault_injector=injector, verify_collectives=True
+        )
+        with pytest.raises(CollectiveIntegrityError):
+            w.run(2)
+
+    def test_recovery_budget_exhausts_cleanly(self):
+        store = ShardedCheckpointStore()
+        recovery = WorldRecovery(store, policy="warm_replace", max_recoveries=2)
+        schedule = [
+            Fault("rank_failure", rank=0, at_call=i, op="allreduce")
+            for i in range(0, 600, 3)
+        ]
+        injector = FaultInjector(seed=5, schedule=schedule)
+        w = DistributedThermalWorkload(
+            nranks=2, seed=3, store=store, recovery=recovery, fault_injector=injector
+        )
+        with pytest.raises(RecoveryExhaustedError):
+            w.run(N_STEPS)
+        assert recovery.recoveries == 3  # the fatal third incident
+
+    def test_comm_timeout_recovers_via_rollback(self, fault_free):
+        # Drop the same logical message past the retry budget: the channel
+        # raises CommTimeoutError (never hangs) and recovery rolls back.
+        store = ShardedCheckpointStore()
+        recovery = WorldRecovery(store, policy="warm_replace")
+        schedule = [Fault("drop", at_call=i) for i in range(40, 48)]
+        injector = FaultInjector(seed=5, schedule=schedule)
+        w = DistributedThermalWorkload(
+            nranks=4,
+            seed=3,
+            store=store,
+            recovery=recovery,
+            fault_injector=injector,
+            retry=RetryPolicy(max_retries=2),
+        )
+        result = w.run(N_STEPS)
+        assert result.steps == N_STEPS
+        assert result.stats.timeouts >= 1
+        assert result.nu_final == pytest.approx(fault_free.nu_final, abs=1e-10)

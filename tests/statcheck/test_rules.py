@@ -74,6 +74,14 @@ class TestSpanHygiene:
         )
         assert findings == []
 
+    def test_chaos_family_is_registered(self):
+        # The chaos harness's spans and metrics (chaos.*) are a registered
+        # family: a module using only them is clean.
+        findings = run_rule(
+            "span-hygiene", FIXTURES / "src/repro/core/chaos_span_case.py"
+        )
+        assert findings == []
+
 
 class TestResourceDiscipline:
     def test_flags_raw_open_and_bare_except(self):
