@@ -22,10 +22,23 @@ from __future__ import annotations
 
 import argparse
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Comparison", "compare", "render_table", "main"]
+__all__ = [
+    "Comparison",
+    "compare",
+    "check_min_speedups",
+    "parse_min_speedups",
+    "render_table",
+    "main",
+]
+
+#: Structural sub-keys the comparator refuses to lose.  ``calls`` and
+#: ``bytes`` carry the traffic accounting behind the bandwidth figures; a
+#: candidate that drops them from an entry the baseline measures has
+#: silently lost coverage even if its wall time looks fine.
+TRACKED_SUBKEYS = ("calls", "bytes")
 
 
 @dataclass
@@ -37,6 +50,7 @@ class Comparison:
     candidate_seconds: float | None
     ratio: float | None
     regressed: bool
+    lost_subkeys: list[str] = field(default_factory=list)
 
     def describe(self, threshold: float) -> str:
         if self.baseline_seconds is None:
@@ -55,7 +69,8 @@ def compare(baseline: dict, candidate: dict, threshold: float = 0.3) -> list[Com
 
     An entry regresses when ``candidate > baseline * (1 + threshold)``;
     an entry present in the baseline but absent from the candidate also
-    counts as a regression (lost coverage).
+    counts as a regression (lost coverage), as does an entry that dropped
+    a :data:`TRACKED_SUBKEYS` sub-key the baseline records.
     """
     base = baseline.get("results", {})
     cand = candidate.get("results", {})
@@ -69,8 +84,71 @@ def compare(baseline: dict, candidate: dict, threshold: float = 0.3) -> list[Com
             out.append(Comparison(name, b, None, None, regressed=True))
         else:
             ratio = c / b if b > 0 else float("inf")
-            out.append(Comparison(name, b, c, ratio, regressed=ratio > 1.0 + threshold))
+            lost = [
+                k for k in TRACKED_SUBKEYS
+                if k in base[name] and k not in cand[name]
+            ]
+            out.append(
+                Comparison(
+                    name, b, c, ratio,
+                    regressed=ratio > 1.0 + threshold or bool(lost),
+                    lost_subkeys=lost,
+                )
+            )
     return out
+
+
+def parse_min_speedups(specs: list[str]) -> dict[str, float]:
+    """Parse repeated ``--min-speedup ENTRY=MIN`` values."""
+    out: dict[str, float] = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--min-speedup expects ENTRY=MIN, got {spec!r}")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            raise ValueError(f"--min-speedup {spec!r}: {value!r} is not a number")
+    return out
+
+
+def check_min_speedups(
+    baseline: dict, candidate: dict, required: dict[str, float]
+) -> list[str]:
+    """Enforce ``--min-speedup ENTRY=MIN``; returns failure messages.
+
+    For a self-contained A/B entry (one carrying both ``seconds`` and
+    ``legacy_seconds``, like ``pressure_fastpath``) the speedup is the
+    candidate's own ``legacy_seconds / seconds`` -- machine-independent,
+    which is what lets CI gate a ratio measured on different silicon than
+    the committed baseline.  Otherwise the speedup is cross-file:
+    ``baseline seconds / candidate seconds``.
+    """
+    failures: list[str] = []
+    cand = candidate.get("results", {})
+    base = baseline.get("results", {})
+    for name, minimum in sorted(required.items()):
+        rec = cand.get(name)
+        if rec is None or "seconds" not in rec:
+            failures.append(f"{name}: required speedup x{minimum:g} but entry is missing")
+            continue
+        if "legacy_seconds" in rec:
+            speedup = rec["legacy_seconds"] / rec["seconds"]
+            kind = "self (legacy/fast)"
+        elif name in base and base[name].get("seconds"):
+            speedup = base[name]["seconds"] / rec["seconds"]
+            kind = "vs baseline"
+        else:
+            failures.append(
+                f"{name}: required speedup x{minimum:g} but no baseline or "
+                "legacy_seconds to compare against"
+            )
+            continue
+        if speedup < minimum:
+            failures.append(
+                f"{name}: speedup x{speedup:.3f} ({kind}) below required x{minimum:g}"
+            )
+    return failures
 
 
 def render_table(comparisons: list[Comparison], threshold: float) -> list[str]:
@@ -95,6 +173,8 @@ def render_table(comparisons: list[Comparison], threshold: float) -> list[str]:
             verdict = "NEW"
         else:
             verdict = "ok"
+        if c.lost_subkeys:
+            verdict += f" (lost sub-keys: {', '.join(c.lost_subkeys)})"
         lines.append(
             f"  {c.name:<{name_w}s} {base:>12s} {cand:>12s} {ratio:>8s}  {verdict}"
         )
@@ -118,7 +198,20 @@ def main(argv=None) -> int:
         default=0.3,
         help="tolerated relative slowdown per entry (0.3 = 30%%)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="ENTRY=MIN",
+        help="require a minimum speedup for ENTRY (repeatable); entries "
+        "carrying legacy_seconds are gated on their own legacy/fast "
+        "ratio, others against the baseline file",
+    )
     args = parser.parse_args(argv)
+    try:
+        required = parse_min_speedups(args.min_speedup)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     baseline = json.loads(args.baseline.read_text())
     candidate = json.loads(args.candidate.read_text())
@@ -127,11 +220,20 @@ def main(argv=None) -> int:
     print(f"comparing {args.candidate} against {args.baseline} (threshold {args.threshold:.0%})")
     for line in render_table(comparisons, args.threshold):
         print(line)
+    failed = False
     regressed = [c for c in comparisons if c.regressed]
     if regressed:
         print(f"REGRESSION: {len(regressed)} entr{'y' if len(regressed) == 1 else 'ies'} "
               f"beyond the {args.threshold:.0%} threshold")
+        failed = True
+    speedup_failures = check_min_speedups(baseline, candidate, required)
+    for msg in speedup_failures:
+        print(f"SPEEDUP GATE: {msg}")
+        failed = True
+    if failed:
         return 1
+    if required:
+        print(f"speedup gate{'s' if len(required) > 1 else ''} satisfied")
     print("no regressions")
     return 0
 

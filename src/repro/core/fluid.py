@@ -87,12 +87,18 @@ class FluidScheme:
         self.p = space.zeros()
 
         # Pressure solver: GMRES + hybrid Schwarz multigrid, singular
-        # (pure-Neumann) with the counting null-space projector.
+        # (pure-Neumann) with the counting null-space projector.  The
+        # operator cache, coarse method and smoother precision are case
+        # options (autotuner/fast-path wiring lives in Simulation).
+        cache_opt = None if config.operator_cache else False
         self.hsmg = HybridSchwarzMultigrid(
             space,
             mask=None,
             coarse_iterations=config.coarse_iterations,
             overlap=config.schwarz_overlap,
+            smoother_dtype=config.smoother_dtype,
+            coarse_method=config.coarse_method,
+            cache=cache_opt,
         )
         self._pressure_project = MeanProjector.counting(space.gs)
 
@@ -109,6 +115,7 @@ class FluidScheme:
             project_out=self._pressure_project,
             name="pressure",
             tracer=self.timers.tracer,
+            dot_weight=space.gs.inv_multiplicity,
         )
         # Previous-solutions projection space (Fischer's technique; Neko's
         # proj_pre): deflates each pressure solve against recent history.
@@ -123,6 +130,9 @@ class FluidScheme:
         self._helmholtz_b0: float | None = None
         self._vel_precond: JacobiPrecond | None = None
         self.monitors: dict[str, SolverMonitor] = {}
+        # Times the mixed-precision guard tripped (exported by Simulation
+        # as the ``autotune.precision_fallback`` event/metric).
+        self.precision_fallbacks = 0
 
     # -- operators -----------------------------------------------------------
 
@@ -148,7 +158,13 @@ class FluidScheme:
             return
         h2 = b0 / self.dt
         if self._vel_precond is None:
-            self._vel_precond = JacobiPrecond(self.space, self.nu, h2, mask=self.vel_mask)
+            self._vel_precond = JacobiPrecond(
+                self.space,
+                self.nu,
+                h2,
+                mask=self.vel_mask,
+                cache=None if self.config.operator_cache else False,
+            )
         else:
             self._vel_precond.update(self.nu, h2)
         self._vel_solver = ConjugateGradient(
@@ -274,6 +290,10 @@ class FluidScheme:
                 dp, mon_p = self.pressure_solver.solve(rhs_p)
             self.p = self.p + dp
             self._pressure_project(self.p)
+            # Mixed-precision guard: a float32 smoother whose iteration
+            # counts regress beyond the band is swapped back to float64.
+            if self.hsmg.observe_iterations(mon_p.iterations):
+                self.precision_fallbacks += 1
 
         with self.timers.region(PHASE_VELOCITY):
             px, py, pz = physical_grad(self.p, space.coef, space.dx)

@@ -70,6 +70,10 @@ PHASES: tuple[str, ...] = (
 #: cross-backend checks (``verify.study``, ``verify.case``,
 #: ``verify.equivalence``).  The ``chaos.`` family wraps the chaos-testing
 #: harness's scenario runs (``chaos.campaign``, ``chaos.scenario``).
+#: The ``cache.`` family marks operator-cache lifecycle events
+#: (``cache.build``) and the ``autotune.`` family the startup kernel
+#: autotuner (``autotune.sweep``, ``autotune.variant``,
+#: ``autotune.fallback``, ``autotune.precision_fallback``).
 SPAN_PREFIXES: tuple[str, ...] = (
     "krylov.",
     "resilience.",
@@ -79,6 +83,8 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "flight.",
     "verify.",
     "chaos.",
+    "cache.",
+    "autotune.",
 )
 
 # -- metric taxonomy ---------------------------------------------------------
@@ -99,6 +105,8 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "flight.",
     "verify.",
     "chaos.",
+    "cache.",
+    "autotune.",
 )
 
 

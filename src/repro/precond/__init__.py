@@ -19,11 +19,18 @@ Velocity and temperature use the plain Jacobi preconditioner
 (``jacobi.py``) exactly as in the paper.
 """
 
+from repro.precond.cache import (
+    CacheKey,
+    OperatorCache,
+    global_cache,
+    reset_global_cache,
+    resolve_cache,
+)
 from repro.precond.jacobi import JacobiPrecond, helmholtz_diagonal
 from repro.precond.fdm import FastDiagonalization
 from repro.precond.schwarz import SchwarzSmoother
 from repro.precond.coarse import CoarseGridSolver
-from repro.precond.hsmg import HybridSchwarzMultigrid
+from repro.precond.hsmg import HybridSchwarzMultigrid, IterationGuard
 
 __all__ = [
     "JacobiPrecond",
@@ -32,4 +39,10 @@ __all__ = [
     "SchwarzSmoother",
     "CoarseGridSolver",
     "HybridSchwarzMultigrid",
+    "IterationGuard",
+    "CacheKey",
+    "OperatorCache",
+    "global_cache",
+    "reset_global_cache",
+    "resolve_cache",
 ]

@@ -9,18 +9,28 @@ Galerkin-consistent operator matters: an under-integrated vertex Laplacian
 over-corrects smooth modes and can push eigenvalues of ``M^{-1} A``
 negative.
 
-The coarse problem is solved approximately with a Jacobi-preconditioned CG
-run for a fixed number of iterations (~10), exactly the paper's
-configuration: cheap, allreduce-heavy and latency-dominated -- which is why
-the task-overlap schedule of Section 5.3 runs it concurrently with the fine
-smoother.
+Two solve strategies are provided.  ``method="cg"`` (the class default,
+and the paper's configuration) runs a Jacobi-preconditioned CG for a fixed
+number of iterations (~10): cheap, allreduce-heavy and latency-dominated --
+which is why the task-overlap schedule of Section 5.3 runs it concurrently
+with the fine smoother.  ``method="direct"`` factorizes the sparse coarse
+operator once (``splu``; the singular pure-Neumann case is regularized by
+pinning vertex 0, which is exact for consistent right-hand sides) and
+back-substitutes per application -- on a single-process run this replaces
+~10 Python-level CG iterations with one triangular solve and is the
+production fast path used by the HSMG preconditioner.  Assembly and
+factorization are shared through the operator cache.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 import scipy.sparse
+import scipy.sparse.linalg
 
+from repro.precond.cache import CacheKey, OperatorCache, mask_fingerprint, resolve_cache
 from repro.sem.basis import lagrange_interpolation_matrix
 from repro.sem.dealias import interp3, interp3_transpose
 from repro.sem.quadrature import gll_points_weights
@@ -28,6 +38,13 @@ from repro.sem.space import FunctionSpace
 from repro.solvers.cg import ConjugateGradient
 
 __all__ = ["CoarseGridSolver", "q1_element_stiffness"]
+
+# Below this many vertices the direct solver densifies the factorized
+# inverse: one gemv (BLAS) replaces two sparse triangular solves, which at
+# the coarse-space sizes of interest is ~4x faster per application for at
+# most a few MB of memory.  Above the bound the triangular solves win on
+# memory (the dense inverse grows quadratically) and the splu path is kept.
+_DENSE_INVERSE_MAX_VERTICES = 1024
 
 # Reference Q1 data: vertex order matches the (k, j, i) elementwise layout
 # (index = 4 k + 2 j + i), i.e. corner signs (t, s, r).
@@ -93,10 +110,18 @@ class CoarseGridSolver:
     fine_space:
         The pressure space of the fine level.
     iterations:
-        Fixed CG iteration count (paper: approximately 10).
+        Fixed CG iteration count (paper: approximately 10); ignored by the
+        direct method.
     mask:
         Optional fine-level Dirichlet mask; when ``None`` the problem is
         singular (pure Neumann) and the constant mode is projected out.
+    method:
+        ``"cg"`` (fixed-iteration Jacobi-CG, the paper's configuration and
+        the class default) or ``"direct"`` (cached sparse LU, the
+        production fast path).
+    cache:
+        Operator-cache handle for the assembly/factorization (``None`` =
+        process-wide cache, ``False`` = private cold build).
     """
 
     def __init__(
@@ -104,8 +129,13 @@ class CoarseGridSolver:
         fine_space: FunctionSpace,
         iterations: int = 10,
         mask: np.ndarray | None = None,
+        method: str = "cg",
+        cache: OperatorCache | bool | None = None,
     ) -> None:
+        if method not in ("cg", "direct"):
+            raise ValueError(f"unknown coarse method: {method!r}")
         self.fine = fine_space
+        self.method = method
         self.coarse = FunctionSpace(fine_space.mesh, 2)
         fine_pts, _ = gll_points_weights(fine_space.lx)
         # Prolongation J: Q1 nodal values -> degree-N nodal values.
@@ -114,8 +144,47 @@ class CoarseGridSolver:
         gs = self.coarse.gs
         self.n_vertices = gs.n_global
         self.singular = mask is None
+        self._mask = mask
 
-        self._free = np.ones(self.n_vertices, dtype=bool)
+        key = CacheKey.for_space(
+            fine_space, f"coarse[{method};mask={mask_fingerprint(mask)}]"
+        )
+        self._free, self.a0, self._lu, self._ainv = resolve_cache(cache).get_or_build(
+            key, self._build_operator
+        )
+        self._all_free = bool(self._free.all())
+        self._inv_mult = 1.0 / fine_space.gs.multiplicity
+
+        self.cg: ConjugateGradient | None = None
+        self.iterations = iterations
+        if method == "cg":
+            diag = self.a0.diagonal()
+            if np.any(diag <= 0):
+                raise RuntimeError("coarse operator has non-positive diagonal")
+            inv_diag = 1.0 / diag
+            a0 = self.a0
+
+            def amul(u: np.ndarray) -> np.ndarray:
+                return a0 @ u
+
+            def dot(u: np.ndarray, v: np.ndarray) -> float:
+                return float(np.dot(u, v))
+
+            self.cg = ConjugateGradient(
+                amul,
+                dot=dot,
+                precond=lambda r: inv_diag * r,
+                fixed_iterations=iterations,
+                name="coarse-cg",
+            )
+
+    def _build_operator(
+        self,
+    ) -> tuple[np.ndarray, scipy.sparse.csr_matrix, Any, np.ndarray | None]:
+        """Assemble the Galerkin coarse operator (and factorize it, if direct)."""
+        gs = self.coarse.gs
+        mask = self._mask
+        free = np.ones(self.n_vertices, dtype=bool)
         if mask is not None:
             mc = np.ones(self.coarse.shape)
             for ct in (0, -1):
@@ -123,11 +192,11 @@ class CoarseGridSolver:
                     for cr in (0, -1):
                         mc[:, ct, cs, cr] = mask[:, ct, cs, cr]
             mc = gs.min(mc)
-            self._free = gs.gather_unique(mc) > 0.5
+            free = gs.gather_unique(mc) > 0.5
 
         # Assemble the sparse Galerkin coarse operator over unique vertices.
-        ke = q1_element_stiffness(fine_space.mesh.corner_coords)
-        ids = gs.global_ids.reshape(fine_space.mesh.nelv, 8)
+        ke = q1_element_stiffness(self.fine.mesh.corner_coords)
+        ids = gs.global_ids.reshape(self.fine.mesh.nelv, 8)
         rows = np.repeat(ids, 8, axis=1).reshape(-1)
         cols = np.tile(ids, (1, 8)).reshape(-1)
         a0 = scipy.sparse.coo_matrix(
@@ -135,29 +204,32 @@ class CoarseGridSolver:
         ).tocsr()
         if mask is not None:
             # Eliminate constrained vertices: identity rows/cols.
-            free = self._free.astype(np.float64)
-            d = scipy.sparse.diags(free)
-            a0 = d @ a0 @ d + scipy.sparse.diags(1.0 - free)
-        self.a0 = a0
+            freef = free.astype(np.float64)
+            d = scipy.sparse.diags(freef)
+            a0 = d @ a0 @ d + scipy.sparse.diags(1.0 - freef)
 
-        diag = a0.diagonal()
-        if np.any(diag <= 0):
-            raise RuntimeError("coarse operator has non-positive diagonal")
-        inv_diag = 1.0 / diag
-
-        def amul(u: np.ndarray) -> np.ndarray:
-            return a0 @ u
-
-        def dot(u: np.ndarray, v: np.ndarray) -> float:
-            return float(np.dot(u, v))
-
-        self.cg = ConjugateGradient(
-            amul,
-            dot=dot,
-            precond=lambda r: inv_diag * r,
-            fixed_iterations=iterations,
-            name="coarse-cg",
-        )
+        lu: Any = None
+        ainv: np.ndarray | None = None
+        if self.method == "direct":
+            ap = a0
+            if self.singular:
+                # Pin vertex 0 (identity row/column).  For a consistent
+                # right-hand side (sum == 0, guaranteed by the mean
+                # projection) the solve with ``rhs[0] = 0`` is *exact*: the
+                # dropped row is minus the sum of the others.
+                pin = np.ones(self.n_vertices)
+                pin[0] = 0.0
+                d = scipy.sparse.diags(pin)
+                e00 = scipy.sparse.coo_matrix(
+                    ([1.0], ([0], [0])), shape=a0.shape
+                )
+                ap = (d @ a0 @ d + e00).tocsc()
+            else:
+                ap = a0.tocsc()
+            lu = scipy.sparse.linalg.splu(ap)
+            if self.n_vertices <= _DENSE_INVERSE_MAX_VERTICES:
+                ainv = np.ascontiguousarray(lu.solve(np.eye(self.n_vertices)))
+        return free, a0, lu, ainv
 
     # -- transfer operators --------------------------------------------------
 
@@ -178,7 +250,7 @@ class CoarseGridSolver:
         return interp3(uc, self.j_c2f)
 
     def _project(self, u: np.ndarray) -> None:
-        u -= u[self._free].mean() if not self._free.all() else u.mean()
+        u -= u.mean() if self._all_free else u[self._free].mean()
 
     def __call__(self, r_fine: np.ndarray) -> np.ndarray:
         """Full coarse correction: restrict, solve, prolong.
@@ -188,13 +260,19 @@ class CoarseGridSolver:
         dual bookkeeping.  To keep the operation linear-consistent with the
         duplicated storage, the input is first de-duplicated.
         """
-        r = r_fine / self.fine.gs.multiplicity
+        r = r_fine * self._inv_mult
         rc = self.restrict(r)
         if self.singular:
             self._project(rc)
         else:
             rc[~self._free] = 0.0
-        uc, _ = self.cg.solve(rc)
+        if self._lu is not None:
+            if self.singular:
+                rc[0] = 0.0
+            uc = self._ainv @ rc if self._ainv is not None else self._lu.solve(rc)
+        else:
+            assert self.cg is not None
+            uc, _ = self.cg.solve(rc)
         if self.singular:
             self._project(uc)
         return self.prolong(uc)
@@ -207,16 +285,21 @@ class CoarseGridSolver:
         """
         ne = self.fine.mesh.nelv if n_elements is None else n_elements
         seq: list[tuple[str, int]] = [("coarse_restrict", ne * 8 * self.fine.lx)]
-        iters = self.cg.fixed_iterations or 10
-        for _ in range(iters):
-            seq += [
-                ("coarse_ax", ne * 8 * 8),
-                ("coarse_gs", ne * 8),
-                ("allreduce_dot", 1),
-                ("coarse_axpy", ne * 8),
-                ("coarse_jacobi", ne * 8),
-                ("allreduce_dot", 1),
-                ("coarse_axpy2", ne * 8),
-            ]
+        if self.method == "direct":
+            # One gather + two triangular solves; nnz scales with vertices.
+            seq.append(("coarse_direct_solve", int(getattr(self.a0, "nnz", ne * 27))))
+        else:
+            assert self.cg is not None
+            iters = self.cg.fixed_iterations or 10
+            for _ in range(iters):
+                seq += [
+                    ("coarse_ax", ne * 8 * 8),
+                    ("coarse_gs", ne * 8),
+                    ("allreduce_dot", 1),
+                    ("coarse_axpy", ne * 8),
+                    ("coarse_jacobi", ne * 8),
+                    ("allreduce_dot", 1),
+                    ("coarse_axpy2", ne * 8),
+                ]
         seq.append(("coarse_prolong", ne * 8 * self.fine.lx))
         return seq

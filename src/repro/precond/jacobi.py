@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.precond.cache import CacheKey, OperatorCache, mask_fingerprint, resolve_cache
 from repro.sem.space import FunctionSpace
 
 __all__ = ["helmholtz_diagonal", "JacobiPrecond"]
@@ -59,6 +60,12 @@ class JacobiPrecond:
     mask:
         Optional Dirichlet mask; masked dofs get an identity diagonal so
         that applying the preconditioner never touches them.
+    cache:
+        Operator-cache handle.  For *scalar* ``h1``/``h2`` the assembled
+        inverse diagonal is a pure function of ``(space, h1, h2, mask)``
+        and is shared through the cache (repeated jobs on the same mesh
+        and time step skip the closed-form assembly); array-valued
+        coefficients always rebuild.
     """
 
     def __init__(
@@ -67,20 +74,35 @@ class JacobiPrecond:
         h1: float | np.ndarray = 1.0,
         h2: float | np.ndarray = 0.0,
         mask: np.ndarray | None = None,
+        cache: OperatorCache | bool | None = None,
     ) -> None:
         self.space = space
         self.mask = mask
+        self._cache = cache
         self._inv_diag: np.ndarray | None = None
         self.update(h1, h2)
 
-    def update(self, h1: float | np.ndarray, h2: float | np.ndarray) -> None:
-        """Recompute the assembled diagonal for new Helmholtz coefficients."""
+    def _build_inv_diag(self, h1: float | np.ndarray, h2: float | np.ndarray) -> np.ndarray:
         diag = self.space.gs.add(helmholtz_diagonal(self.space, h1, h2))
         if self.mask is not None:
             diag = np.where(self.mask == 0.0, 1.0, diag)
         if np.any(diag <= 0.0):
             raise ValueError("Helmholtz diagonal is not positive; check h1/h2 signs")
-        self._inv_diag = 1.0 / diag
+        return 1.0 / diag
+
+    def update(self, h1: float | np.ndarray, h2: float | np.ndarray) -> None:
+        """Recompute the assembled diagonal for new Helmholtz coefficients."""
+        if np.isscalar(h1) and np.isscalar(h2):
+            key = CacheKey.for_space(
+                self.space,
+                f"jacobi_diag[h1={float(h1)!r};h2={float(h2)!r};"
+                f"mask={mask_fingerprint(self.mask)}]",
+            )
+            self._inv_diag = resolve_cache(self._cache).get_or_build(
+                key, lambda: self._build_inv_diag(h1, h2)
+            )
+        else:
+            self._inv_diag = self._build_inv_diag(h1, h2)
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
         """Apply ``z = diag(A)^{-1} r`` (masked dofs passed through zeroed)."""

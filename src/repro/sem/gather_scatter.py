@@ -92,6 +92,7 @@ class GatherScatter:
         mult = np.bincount(self.global_ids, minlength=self.n_global).astype(np.float64)
         self.multiplicity = mult[self.global_ids].reshape(self.shape)
         self._inv_multiplicity = 1.0 / self.multiplicity
+        self._inv_multiplicity_flat = np.ascontiguousarray(self._inv_multiplicity.reshape(-1))
         # Nodes with multiplicity 1 are element-interior; the shared set is
         # what a distributed implementation would communicate.
         self.n_shared = int(np.count_nonzero(mult > 1))
@@ -165,9 +166,23 @@ class GatherScatter:
         code computes with a local dot plus an allreduce.  (Integrals against
         the *unassembled* mass matrix, by contrast, are plain elementwise sums
         because each duplicate carries a partial quadrature contribution.)
+
+        Computed as one pointwise scale plus a BLAS ``dot`` -- measurably
+        faster than the naive ``sum(u * v * w)`` triple product on the
+        Gram--Schmidt hot path (thousands of calls per step).
         """
         self.dot_calls += 1
-        return float(np.sum(u * v * self._inv_multiplicity))
+        return float(np.dot((u * self._inv_multiplicity).reshape(-1), v.reshape(-1)))
+
+    @property
+    def inv_multiplicity(self) -> np.ndarray:
+        """Pointwise ``1 / multiplicity`` -- the weight of :meth:`dot`.
+
+        Exposed so Krylov solvers can pre-scale basis vectors once and run
+        the Gram--Schmidt inner products as plain BLAS dots (the
+        ``dot_weight`` fast path of :class:`repro.solvers.gmres.Gmres`).
+        """
+        return self._inv_multiplicity
 
     def reset_traffic(self) -> None:
         """Zero the traffic counters (between measurement windows)."""

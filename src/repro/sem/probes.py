@@ -111,7 +111,13 @@ class FieldProbes:
     # -- geometry inversion -----------------------------------------------------
 
     def _geom_at(self, e: int, rst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Position and Jacobian of the geometry map at a reference point."""
+        """Position and Jacobian of the geometry map at a reference point.
+
+        One batched-``matmul`` sweep per tensor axis evaluates all eight
+        (value, derivative) basis combinations of all three coordinates at
+        once -- the same contraction structure as the field operators,
+        replacing twelve scalar ``einsum`` reductions per Newton step.
+        """
         lx = self.space.lx
         li = lagrange_interpolation_matrix(np.array([rst[0]]), lx)[0]
         lj = lagrange_interpolation_matrix(np.array([rst[1]]), lx)[0]
@@ -119,18 +125,25 @@ class FieldProbes:
         # Derivative rows: l'(r) = l(r) @ D (differentiate-then-interpolate
         # is exact for the polynomial basis).
         d = np.asarray(derivative_matrix(lx))
-        dli = li @ d
-        dlj = lj @ d
-        dlk = lk @ d
+        rows_i = np.stack([li, li @ d])  # (2, lx): value row, derivative row
+        rows_j = np.stack([lj, lj @ d])
+        rows_k = np.stack([lk, lk @ d])
 
-        pos = np.empty(3)
+        # coords[dim] = (lx, lx, lx) nodal coordinates of element e.
+        coords = np.stack(
+            [self.space.x[e], self.space.y[e], self.space.z[e]]
+        )
+        # Contract axis by axis; c[dim, kt, js, ir] holds the interpolant
+        # with value (0) or derivative (1) rows along each direction.
+        c = np.matmul(rows_k, coords.reshape(3, lx, lx * lx))  # (3, 2, lx*lx)
+        c = np.matmul(rows_j, c.reshape(3, 2, lx, lx))  # (3, 2, 2, lx)
+        c = np.matmul(c, rows_i.T)  # (3, 2, 2, 2)
+
+        pos = c[:, 0, 0, 0].copy()
         jac = np.empty((3, 3))
-        for dim, arr in enumerate((self.space.x, self.space.y, self.space.z)):
-            a = arr[e]
-            pos[dim] = np.einsum("k,j,i,kji->", lk, lj, li, a)
-            jac[dim, 0] = np.einsum("k,j,i,kji->", lk, lj, dli, a)
-            jac[dim, 1] = np.einsum("k,j,i,kji->", lk, dlj, li, a)
-            jac[dim, 2] = np.einsum("k,j,i,kji->", dlk, lj, li, a)
+        jac[:, 0] = c[:, 0, 0, 1]  # d/dr
+        jac[:, 1] = c[:, 0, 1, 0]  # d/ds
+        jac[:, 2] = c[:, 1, 0, 0]  # d/dt
         return pos, jac
 
     def _invert(
@@ -165,13 +178,14 @@ class FieldProbes:
             raise ValueError(f"field shape {field.shape} != {self.space.shape}")
         out = np.full(self.points.shape[0], np.nan)
         if len(self._found_idx):
-            vals = np.einsum(
-                "pk,pj,pi,pkji->p",
-                self._lk,
-                self._lj,
-                self._li,
-                field[self.element[self._found_idx]],
-            )
+            lx = self.space.lx
+            f = field[self.element[self._found_idx]]  # (p, lx, lx, lx)
+            p = f.shape[0]
+            # Batched matmul, one tensor axis at a time (the same
+            # (batch, n, n) contraction shape as the field operators).
+            t = np.matmul(self._lk[:, None, :], f.reshape(p, lx, lx * lx))
+            t = np.matmul(self._lj[:, None, :], t.reshape(p, lx, lx))
+            vals = np.matmul(t, self._li[:, :, None]).reshape(p)
             out[self._found_idx] = vals
         return out
 

@@ -49,6 +49,17 @@ class Gmres:
         Optional in-place null-space projector applied to the right-hand
         side, to every preconditioned direction and to the solution --
         removes the constant pressure mode.
+    dot_weight:
+        Optional pointwise weight ``W`` such that
+        ``dot(u, v) == sum(u * W * v)`` (the gather--scatter counting
+        weight).  When given, the Arnoldi basis is kept in a dense
+        ``(m+1, n)`` matrix (plus a ``W``-scaled copy) and each
+        orthogonalization runs as *reorthogonalized classical
+        Gram--Schmidt* (CGS2): two gemv projections instead of ``k + 1``
+        Python-level triple-product dots and axpys.  CGS2 is as robust as
+        modified Gram--Schmidt in practice (the standard choice in
+        performance-oriented Krylov implementations) and must be
+        consistent with ``dot``; residual histories agree to rounding.
     """
 
     def __init__(
@@ -63,9 +74,11 @@ class Gmres:
         atol: float = 1e-30,
         name: str = "gmres",
         tracer: TracerProtocol | None = None,
+        dot_weight: FloatArray | None = None,
     ) -> None:
         self.amul = amul
         self.dot = dot
+        self.dot_weight = dot_weight
         self.precond: Operator = precond if precond is not None else _copy
         self.tol = tol
         self.atol = atol
@@ -78,6 +91,9 @@ class Gmres:
         self.tracer: TracerProtocol = tracer if tracer is not None else NULL_TRACER
 
     def _norm(self, u: FloatArray) -> float:
+        if self.dot_weight is not None:
+            d = float(np.dot((u * self.dot_weight).reshape(-1), u.reshape(-1)))
+            return float(np.sqrt(max(d, 0.0)))
         return float(np.sqrt(max(self.dot(u, u), 0.0)))
 
     def solve(
@@ -107,45 +123,93 @@ class Gmres:
             return x, mon
         target = max(self.tol * beta, mon.atol)
 
+        weight = self.dot_weight
+        wf = weight.reshape(-1) if weight is not None else None
+        shape = b.shape
         total_iters = 0
         while total_iters < self.maxiter:
             m = min(self.restart, self.maxiter - total_iters)
-            # Arnoldi basis (element-layout vectors) and Hessenberg matrix.
-            v = [r / beta]
-            h = np.zeros((m + 1, m))
-            g = np.zeros(m + 1)
-            g[0] = beta
-            cs = np.zeros(m)
-            sn = np.zeros(m)
+            # Arnoldi basis and Hessenberg matrix.  The weighted fast path
+            # keeps the basis as rows of a dense (m+1, n) matrix ``vmat``
+            # so each orthogonalization is a pair of gemvs on the *same*
+            # matrix (the W-weighting is folded into the right-hand vector:
+            # V^T W w = V^T (W.w), so no scaled basis copy is kept -- that
+            # would double the memory traffic of every gemv); the generic
+            # path keeps element-layout vectors.
+            v: list[FloatArray] = []
+            vmat = ww = None
+            if weight is not None and wf is not None:
+                n = b.size
+                vmat = np.empty((m + 1, n))
+                ww = np.empty(n)
+                np.divide(r.reshape(-1), beta, out=vmat[0])
+            else:
+                v = [r / beta]
+            # Hessenberg columns, Givens coefficients and the reduced RHS
+            # live as Python floats: the recurrences are sequential scalar
+            # arithmetic, where single-element ndarray indexing costs ~50x
+            # a float op and dominated the per-iteration overhead.
+            hcols: list[list[float]] = []
+            g: list[float] = [beta] + [0.0] * m
+            cs: list[float] = [0.0] * m
+            sn: list[float] = [0.0] * m
             z_dirs: list[FloatArray] = []
             k_done = 0
 
             for k in range(m):
-                z = self.precond(v[k])
+                vk = vmat[k].reshape(shape) if vmat is not None else v[k]
+                z = self.precond(vk)
                 self.project_out(z)
                 z_dirs.append(z)
                 w = self.amul(z)
                 self.project_out(w)
-                # Modified Gram-Schmidt.
-                for i in range(k + 1):
-                    h[i, k] = self.dot(w, v[i])
-                    w -= h[i, k] * v[i]
-                h_next = self._norm(w)
-                h[k + 1, k] = h_next
+                if vmat is not None and ww is not None:
+                    # Classical Gram-Schmidt with DGKS selective
+                    # reorthogonalization: one gemv pair per iteration, and a
+                    # second pass only when the projection removed most of the
+                    # vector (h_next^2 < ||w_before||^2 / 2), the standard
+                    # "twice is enough" criterion.  The test reuses already
+                    # computed quantities: ||w_before||^2 = h_next^2 + |hcol|^2.
+                    wflat = np.ascontiguousarray(w.reshape(-1))
+                    np.multiply(wflat, wf, out=ww)
+                    hcol = vmat[: k + 1] @ ww
+                    wflat -= hcol @ vmat[: k + 1]
+                    hc = hcol.tolist()
+                    np.multiply(wflat, wf, out=ww)
+                    h2 = float(max(np.dot(ww, wflat), 0.0))
+                    if 2.0 * h2 < h2 + float(np.dot(hcol, hcol)):
+                        corr = vmat[: k + 1] @ ww
+                        wflat -= corr @ vmat[: k + 1]
+                        hc = [a + b for a, b in zip(hc, corr.tolist())]
+                        np.multiply(wflat, wf, out=ww)
+                        h2 = float(max(np.dot(ww, wflat), 0.0))
+                    h_next = float(np.sqrt(h2))
+                    w = wflat.reshape(shape)
+                else:
+                    # Modified Gram-Schmidt.
+                    hc = []
+                    for i in range(k + 1):
+                        hik = float(self.dot(w, v[i]))
+                        hc.append(hik)
+                        w -= hik * v[i]
+                    h_next = self._norm(w)
+                hc.append(h_next)
 
                 # Apply accumulated Givens rotations to the new column.
                 for i in range(k):
-                    tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
-                    h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
-                    h[i, k] = tmp
-                denom = np.hypot(h[k, k], h[k + 1, k])
+                    tmp = cs[i] * hc[i] + sn[i] * hc[i + 1]
+                    hc[i + 1] = -sn[i] * hc[i] + cs[i] * hc[i + 1]
+                    hc[i] = tmp
+                denom = float(np.hypot(hc[k], hc[k + 1]))
                 if denom == 0.0:
+                    hcols.append(hc)
                     k_done = k + 1
                     break
-                cs[k] = h[k, k] / denom
-                sn[k] = h[k + 1, k] / denom
-                h[k, k] = denom
-                h[k + 1, k] = 0.0
+                cs[k] = hc[k] / denom
+                sn[k] = hc[k + 1] / denom
+                hc[k] = denom
+                hc[k + 1] = 0.0
+                hcols.append(hc)
                 g[k + 1] = -sn[k] * g[k]
                 g[k] = cs[k] * g[k]
 
@@ -156,16 +220,21 @@ class Gmres:
                 if res <= target or h_next == 0.0:
                     break
                 if k + 1 < m:
-                    v.append(w / h_next)
+                    if vmat is not None:
+                        np.divide(w.reshape(-1), h_next, out=vmat[k + 1])
+                    else:
+                        v.append(w / h_next)
 
             # Back substitution for the small triangular system (a zero
             # pivot signals exact breakdown; drop that direction).
-            y = np.zeros(k_done)
+            y = [0.0] * k_done
             for i in range(k_done - 1, -1, -1):
-                if h[i, i] == 0.0:
-                    y[i] = 0.0
+                if hcols[i][i] == 0.0:
                     continue
-                y[i] = (g[i] - h[i, i + 1 : k_done] @ y[i + 1 : k_done]) / h[i, i]
+                s = g[i]
+                for j in range(i + 1, k_done):
+                    s -= hcols[j][i] * y[j]
+                y[i] = s / hcols[i][i]
             for i in range(k_done):
                 x += y[i] * z_dirs[i]
             self.project_out(x)

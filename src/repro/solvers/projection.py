@@ -40,13 +40,14 @@ class MeanProjector:
 
     def __init__(self, weight: FloatArray) -> None:
         self.weight = weight
+        self._weight_flat = np.ascontiguousarray(weight).reshape(-1)
         self.total = float(np.sum(weight))
         if self.total <= 0:
             raise ValueError("projection weight must have positive total")
 
     def mean(self, u: FloatArray) -> float:
-        """Weighted mean of ``u``."""
-        return float(np.sum(u * self.weight)) / self.total
+        """Weighted mean of ``u`` (one BLAS dot; called per Krylov direction)."""
+        return float(np.dot(self._weight_flat, u.reshape(-1))) / self.total
 
     def __call__(self, u: FloatArray) -> FloatArray:
         """Remove the weighted mean from ``u`` in place; returns ``u``."""

@@ -6,11 +6,16 @@ the Krylov iteration counts of every preconditioner on a fixed
 deformed-mesh Poisson problem (seeded geometry, fixed tolerance) inside
 +-15% tolerance bands.
 
-Reference counts were measured on the seed implementation
+Reference counts on the fixed problem
 (deformed 3^3 box, lx = 6, amplitude 0.08, seed 42, tol 1e-10):
 
     none(CG) 131,  jacobi(CG) 108,  fdm(GMRES) 78,
-    schwarz(GMRES) 78,  hsmg(GMRES) 71
+    schwarz(GMRES) 64,  hsmg(GMRES) 56
+
+The schwarz/hsmg counts were re-pinned when the Schwarz counting weight
+became symmetric (W^{1/2} on both sides of the local solves instead of a
+one-sided post-weighting): the smoother got strictly stronger (78 -> 64,
+71 -> 56) at identical MMS error.
 
 The ordering none > jacobi > schwarz-family > hsmg is itself asserted --
 that hierarchy is the entire point of the preconditioner stack.
@@ -29,8 +34,8 @@ REFERENCE_ITERATIONS = {
     "none": 131,
     "jacobi": 108,
     "fdm": 78,
-    "schwarz": 78,
-    "hsmg": 71,
+    "schwarz": 64,
+    "hsmg": 56,
 }
 BAND = 0.15
 TOL = 1e-10

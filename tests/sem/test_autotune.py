@@ -1,0 +1,271 @@
+"""Determinism + replay suite for the startup kernel autotuner.
+
+The tuning table is a committed artifact: the same measurements must
+always produce the same selections (argmin with declaration-order
+tie-break), the table must survive a JSON round trip bit-for-bit, and a
+*stale* table -- one naming a variant this build no longer knows -- must
+fall back to the defaults with a logged ``autotune.fallback`` event
+rather than taking the solver down.  Tests inject a scripted ``clock``
+into the benchmark layer so the measurements themselves are pinned.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.sem.autotune import (
+    DEFAULTS,
+    DIMENSIONS,
+    TABLE_VERSION,
+    TuningEntry,
+    TuningTable,
+    apply_tuning,
+    autotune,
+    benchmark_contraction,
+)
+from repro.sem.coef import get_contraction_variant, set_contraction_variant
+
+
+class ScriptedClock:
+    """A fake ``time.perf_counter`` ticking a fixed amount per call.
+
+    Every ``_time_call`` measurement becomes exactly ``step`` seconds, so
+    all variants tie and the declaration-order tie-break is exposed; a
+    ``biases`` map {call_index: extra} can slow down specific intervals.
+    """
+
+    def __init__(self, step: float = 1.0, biases: dict[int, float] | None = None):
+        self.t = 0.0
+        self.calls = 0
+        self.biases = biases or {}
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step + self.biases.get(self.calls, 0.0)
+        self.calls += 1
+        return self.t
+
+
+class RecordingTracer:
+    def __init__(self):
+        self.events: list[tuple[str, dict]] = []
+
+    def event(self, name: str, **tags):
+        self.events.append((name, tags))
+
+
+@pytest.fixture(autouse=True)
+def _restore_variant():
+    before = get_contraction_variant()
+    yield
+    set_contraction_variant(before)
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_autotune_is_deterministic_under_a_fixed_clock():
+    a = autotune(8, 5, repeats=2, clock=ScriptedClock())
+    b = autotune(8, 5, repeats=2, clock=ScriptedClock())
+    assert a.selections == b.selections
+    assert a.measurements == b.measurements
+    assert a.to_dict() == b.to_dict()
+
+
+def test_ties_break_by_declaration_order():
+    """All-equal measurements select the first (default) variant of every
+    dimension -- the tie-break that makes the table reproducible."""
+    entry = autotune(4, 3, repeats=1, clock=ScriptedClock())
+    for dim, variants in DIMENSIONS.items():
+        times = entry.measurements[dim]
+        assert len(set(times.values())) == 1, f"{dim} measurements did not tie"
+        assert entry.selections[dim] == variants[0]
+    assert entry.selections == DEFAULTS
+
+
+def test_selection_is_argmin_of_measurements():
+    """Biasing one timed interval flips exactly that dimension's winner."""
+    # benchmark_contraction times "batched" first: interval (calls 0,1).
+    # Slowing it makes "axis" the argmin.
+    clock = ScriptedClock(biases={1: 100.0})
+    times = benchmark_contraction(4, 4, repeats=1, clock=clock)
+    assert times["batched"] > times["axis"]
+    entry = autotune(4, 3, repeats=1, clock=ScriptedClock(biases={1: 100.0}))
+    assert entry.selections["contraction"] == "axis"
+    # The other dimensions still tie to their defaults.
+    assert entry.selections["smoother_dtype"] == DEFAULTS["smoother_dtype"]
+
+
+def test_autotune_emits_sweep_event():
+    tracer = RecordingTracer()
+    autotune(4, 3, repeats=1, clock=ScriptedClock(), tracer=tracer)
+    names = [n for n, _ in tracer.events]
+    assert "autotune.sweep" in names
+    _, tags = tracer.events[names.index("autotune.sweep")]
+    assert tags["nelem"] == 4 and tags["p"] == 3
+    assert tags["pick_contraction"] in DIMENSIONS["contraction"]
+
+
+def test_real_clock_sweep_selects_known_variants():
+    """An un-mocked sweep (tiny shape) still yields only known variants."""
+    entry = autotune(2, 2, repeats=1)
+    for dim, pick in entry.selections.items():
+        assert pick in DIMENSIONS[dim]
+        assert all(t >= 0.0 for t in entry.measurements[dim].values())
+
+
+# -- table round trip ----------------------------------------------------------
+
+
+def make_table() -> TuningTable:
+    table = TuningTable()
+    table.add(autotune(8, 5, repeats=1, clock=ScriptedClock()))
+    table.add(autotune(27, 7, repeats=1, clock=ScriptedClock(biases={1: 9.0})))
+    return table
+
+
+def test_table_json_round_trip_is_exact():
+    table = make_table()
+    blob = table.to_json()
+    again = TuningTable.from_json(blob)
+    assert again.to_json() == blob
+    assert [e.to_dict() for e in again.entries()] == [
+        e.to_dict() for e in table.entries()
+    ]
+
+
+def test_table_save_load_round_trip(tmp_path):
+    path = tmp_path / "tuning.json"
+    table = make_table()
+    table.save(path)
+    # The artifact is stable text: saving twice yields identical bytes.
+    first = path.read_text()
+    table.save(path)
+    assert path.read_text() == first
+    again = TuningTable.load(path)
+    assert again.to_json() == table.to_json()
+    assert again.lookup(8, 5).selections == table.lookup(8, 5).selections
+
+
+def test_table_lookup_is_exact_shape_match():
+    table = make_table()
+    assert table.lookup(8, 5) is not None
+    assert table.lookup(8, 6) is None
+    assert table.lookup(9, 5) is None
+
+
+def test_version_mismatch_raises():
+    blob = make_table().to_json()
+    blob["version"] = TABLE_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        TuningTable.from_json(blob)
+
+
+def test_entry_dict_round_trip():
+    entry = autotune(8, 5, repeats=1, clock=ScriptedClock())
+    again = TuningEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+    assert again.to_dict() == entry.to_dict()
+
+
+# -- stale-table fallback ------------------------------------------------------
+
+
+def test_unknown_variant_falls_back_to_default_with_event():
+    tracer = RecordingTracer()
+    metrics = MetricsRegistry()
+    applied = apply_tuning(
+        {"contraction": "simd-unrolled-v2", "smoother_dtype": "float32"},
+        tracer=tracer,
+        metrics=metrics,
+    )
+    # The stale pick is replaced, the valid pick survives, the missing
+    # dimension gets its default.
+    assert applied["contraction"] == DEFAULTS["contraction"]
+    assert applied["smoother_dtype"] == "float32"
+    assert applied["operator_cache"] == DEFAULTS["operator_cache"]
+    fallbacks = [t for n, t in tracer.events if n == "autotune.fallback"]
+    assert fallbacks == [
+        {
+            "dimension": "contraction",
+            "requested": "simd-unrolled-v2",
+            "used": DEFAULTS["contraction"],
+        }
+    ]
+    assert metrics.counter("autotune.fallback").value == 1.0
+
+
+def test_valid_selection_applies_without_fallback():
+    tracer = RecordingTracer()
+    metrics = MetricsRegistry()
+    applied = apply_tuning(
+        {"contraction": "axis", "smoother_dtype": "float64", "operator_cache": "off"},
+        tracer=tracer,
+        metrics=metrics,
+    )
+    assert applied == {
+        "contraction": "axis",
+        "smoother_dtype": "float64",
+        "operator_cache": "off",
+    }
+    assert [n for n, _ in tracer.events] == []
+    assert metrics.counter("autotune.fallback").value == 0.0
+    # apply_tuning really installs the contraction variant process-wide.
+    assert get_contraction_variant() == "axis"
+    # And exports the applied picks as gauges for dashboards.
+    idx = metrics.gauge("autotune.contraction.variant_index").value
+    assert DIMENSIONS["contraction"][int(idx)] == "axis"
+
+
+def test_none_selection_means_all_defaults():
+    applied = apply_tuning(None)
+    assert applied == DEFAULTS
+    assert get_contraction_variant() == DEFAULTS["contraction"]
+
+
+# -- Simulation integration ----------------------------------------------------
+
+
+def _tiny_case(**overrides):
+    from repro.core.rbc import rbc_box_case
+
+    return rbc_box_case(1e4, n=(2, 2, 2), lx=4, **overrides)
+
+
+def test_simulation_consults_tuning_table(tmp_path):
+    from repro.core.simulation import Simulation
+
+    config = _tiny_case()
+    nelem, p = config.mesh.nelv, config.lx - 1
+    table = TuningTable()
+    entry = autotune(nelem, p, repeats=1, clock=ScriptedClock())
+    entry.selections["smoother_dtype"] = "float32"
+    entry.selections["operator_cache"] = "off"
+    table.add(entry)
+    path = tmp_path / "table.json"
+    table.save(path)
+
+    sim = Simulation(dataclasses_replace(config, tuning_table=str(path)))
+    assert sim.tuning["smoother_dtype"] == "float32"
+    assert sim.config.smoother_dtype == "float32"
+    assert sim.config.operator_cache is False
+    assert sim.fluid.hsmg.guard is not None
+
+
+def test_simulation_missing_table_falls_back(tmp_path):
+    from repro.core.simulation import Simulation
+
+    config = _tiny_case()
+    sim = Simulation(
+        dataclasses_replace(config, tuning_table=str(tmp_path / "nope.json"))
+    )
+    assert sim.tuning == DEFAULTS
+    assert sim.metrics.counter("autotune.fallback").value >= 1.0
+    assert sim.config.smoother_dtype == "float64"
+
+
+def dataclasses_replace(config, **kw):
+    import dataclasses
+
+    return dataclasses.replace(config, **kw)

@@ -157,3 +157,141 @@ def test_ax_poisson_positive_semidefinite_on_deformed_mesh():
     assert float(np.sum(const * ax_poisson(const, space.coef, space.dx))) == pytest.approx(
         0.0, abs=1e-9
     )
+
+
+# -- contraction-variant equivalence and probe identities ---------------------
+#
+# The autotuner switches tensor contractions between the batched-matmul and
+# per-axis einsum forms at runtime; these properties pin the two forms (and
+# the fused geometric-factor path of ax_poisson/ax_helmholtz) to each other
+# on random deformed meshes.  Probe evaluation rides the same batched
+# contraction structure, so its polynomial-reproduction identities live here
+# too.
+
+from repro.sem.coef import (  # noqa: E402
+    get_contraction_variant,
+    set_contraction_variant,
+    tensor_derivatives,
+    tensor_derivatives_stacked,
+)
+from repro.sem.operators import ax_helmholtz  # noqa: E402
+from repro.sem.probes import FieldProbes  # noqa: E402
+
+
+@pytest.fixture
+def restore_variant():
+    """Leave the process-wide contraction variant as we found it."""
+    before = get_contraction_variant()
+    yield
+    set_contraction_variant(before)
+
+
+@settings(max_examples=10, deadline=None)
+@given(**deformations)
+def test_contraction_variants_agree_on_ax_poisson(seed, amplitude):
+    """Batched (fused einsum) and per-axis variants produce the same A u."""
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0xC0DE)
+    u = random_field(space, rng)
+    before = get_contraction_variant()
+    try:
+        set_contraction_variant("batched")
+        batched = ax_poisson(u, space.coef, space.dx)
+        set_contraction_variant("axis")
+        axis = ax_poisson(u, space.coef, space.dx)
+    finally:
+        set_contraction_variant(before)
+    np.testing.assert_allclose(batched, axis, rtol=0, atol=1e-12 * np.abs(batched).max())
+
+
+@settings(max_examples=10, deadline=None)
+@given(**deformations)
+def test_contraction_variants_agree_on_ax_helmholtz(seed, amplitude):
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0x4E1)
+    u = random_field(space, rng)
+    before = get_contraction_variant()
+    try:
+        set_contraction_variant("batched")
+        batched = ax_helmholtz(u, space.coef, space.dx, 0.7, 3.0)
+        set_contraction_variant("axis")
+        axis = ax_helmholtz(u, space.coef, space.dx, 0.7, 3.0)
+    finally:
+        set_contraction_variant(before)
+    np.testing.assert_allclose(batched, axis, rtol=0, atol=1e-12 * np.abs(batched).max())
+
+
+def test_tensor_derivatives_stacked_matches_tuple_form(restore_variant):
+    """The out=-staged stacked derivatives equal the tuple-returning form."""
+    space = deformed_space(3, 0.03)
+    rng = np.random.default_rng(3)
+    u = random_field(space, rng)
+    ur, us, ut = tensor_derivatives(u, space.dx)
+    out = np.empty((3,) + u.shape)
+    tensor_derivatives_stacked(u, space.dx, out)
+    np.testing.assert_array_equal(out[0], ur)
+    np.testing.assert_array_equal(out[1], us)
+    np.testing.assert_array_equal(out[2], ut)
+
+
+def test_g_stack_mirrors_components():
+    """The fused G matrix is exactly the six symmetric components."""
+    space = deformed_space(11, 0.04)
+    g = space.coef.g_stack().reshape(3, 3, *space.shape)
+    np.testing.assert_array_equal(g[0, 0], space.coef.g11)
+    np.testing.assert_array_equal(g[1, 1], space.coef.g22)
+    np.testing.assert_array_equal(g[2, 2], space.coef.g33)
+    np.testing.assert_array_equal(g[0, 1], space.coef.g12)
+    np.testing.assert_array_equal(g[1, 0], space.coef.g12)
+    np.testing.assert_array_equal(g[0, 2], space.coef.g13)
+    np.testing.assert_array_equal(g[1, 2], space.coef.g23)
+    # And it is cached: same object on repeated access.
+    assert space.coef.g_stack() is space.coef.g_stack()
+
+
+@settings(max_examples=8, deadline=None)
+@given(**deformations)
+def test_probe_reproduces_polynomials_on_deformed_mesh(seed, amplitude):
+    """Probing a polynomial of degree < lx is exact anywhere in the mesh.
+
+    The batched-matmul evaluation path must reproduce any field in the
+    polynomial space exactly (up to roundoff); a trilinear-with-cross-terms
+    polynomial exercises every tensor axis.
+    """
+    space = deformed_space(seed, amplitude)
+    rng = np.random.default_rng(seed ^ 0x9807)
+
+    def poly(x, y, z):
+        return 1.5 - 0.3 * x + 0.8 * y * z + 0.25 * x * y * z + 0.5 * z**2
+
+    field = poly(space.x, space.y, space.z)
+    pts = rng.uniform(0.12, 0.88, size=(7, 3))
+    probes = FieldProbes(space, pts)
+    vals = probes.evaluate(field)
+    expect = poly(pts[:, 0], pts[:, 1], pts[:, 2])
+    np.testing.assert_allclose(vals, expect, rtol=0, atol=1e-9)
+
+
+def test_probe_geometry_inversion_roundtrip():
+    """x(rst(p)) == p: the batched Newton geometry evaluation is consistent."""
+    space = deformed_space(5, 0.05)
+    rng = np.random.default_rng(5)
+    pts = rng.uniform(0.1, 0.9, size=(5, 3))
+    probes = FieldProbes(space, pts)
+    assert probes.n_found == 5
+    for ip in range(5):
+        e = int(probes.element[ip])
+        pos, jac = probes._geom_at(e, probes.rst[ip])
+        np.testing.assert_allclose(pos, pts[ip], atol=1e-8)
+        # The element map must stay orientation-preserving.
+        assert np.linalg.det(jac) > 0.0
+
+
+def test_probe_coordinate_fields_roundtrip():
+    """Probing the coordinate fields returns the probe coordinates."""
+    space = deformed_space(9, 0.02)
+    pts = np.array([[0.2, 0.3, 0.7], [0.9, 0.1, 0.4]])
+    probes = FieldProbes(space, pts)
+    np.testing.assert_allclose(probes.evaluate(space.x), pts[:, 0], atol=1e-9)
+    np.testing.assert_allclose(probes.evaluate(space.y), pts[:, 1], atol=1e-9)
+    np.testing.assert_allclose(probes.evaluate(space.z), pts[:, 2], atol=1e-9)
