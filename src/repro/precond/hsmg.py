@@ -205,8 +205,10 @@ class HybridSchwarzMultigrid:
         """``sum_k R_k^T A~_k^{-1} R_k r`` -- the bandwidth-bound smoothers."""
         z = self.schwarz(r)
         for mid_space, smoother, j_m2f in self.mid_levels:
+            # statcheck: ignore[hot-loop-allocation] -- one allocation per mid level (<= 2), not per element
             rm = mid_space.gs.add(interp3_transpose(r, j_m2f))
             zm = smoother(rm)
+            # statcheck: ignore[hot-loop-allocation] -- one allocation per mid level (<= 2), not per element
             z += interp3(mid_space.gs.average(zm), j_m2f)
         return z
 

@@ -156,13 +156,18 @@ class SchwarzSmoother:
         gs = self.space.gs
         lx = z.shape[-1]
         w = np.empty_like(z)  # scratch buffer shared across the axis loop
+        # Ghost-plane scratch: the extracted planes have the same
+        # (nelv, lx, lx) shape for every axis, so two buffers serve all
+        # three passes instead of six fresh copies per application.
+        g_lo = np.empty((z.shape[0], lx, lx), dtype=ze.dtype)
+        g_hi = np.empty_like(g_lo)
         for axis in (1, 2, 3):
             src_lo = [slice(None), slice(1, -1), slice(1, -1), slice(1, -1)]
             src_hi = [slice(None), slice(1, -1), slice(1, -1), slice(1, -1)]
             src_lo[axis] = 0
             src_hi[axis] = lx + 1
-            g_lo = ze[tuple(src_lo)].copy()
-            g_hi = ze[tuple(src_hi)].copy()
+            g_lo[...] = ze[tuple(src_lo)]
+            g_hi[...] = ze[tuple(src_hi)]
             for plane in (g_lo, g_hi):
                 plane[:, 0, :] = 0.0
                 plane[:, -1, :] = 0.0

@@ -120,7 +120,10 @@ class ConjugateGradient:
             rho_new = self.dot(r, z)
             beta = rho_new / rho
             rho = rho_new
-            p = z + beta * p
+            # In-place recurrence update: beta*p + z is bitwise identical
+            # to z + beta*p and reuses p's buffer instead of allocating.
+            p *= beta
+            p += z
         if self.fixed_iterations is not None:
             rnorm = float(np.sqrt(max(self.dot(r, r), 0.0)))
             mon.step(rnorm)

@@ -127,6 +127,15 @@ class Gmres:
         wf = weight.reshape(-1) if weight is not None else None
         shape = b.shape
         total_iters = 0
+        # Workspace for the weighted fast path, hoisted out of the restart
+        # loop: one (restart+1, n) basis matrix and one weighting vector,
+        # reused across restart cycles (only the first m+1 rows of a cycle
+        # are touched).
+        vmat_ws: FloatArray | None = None
+        ww: FloatArray | None = None
+        if weight is not None and wf is not None:
+            vmat_ws = np.empty((self.restart + 1, b.size))
+            ww = np.empty(b.size)
         while total_iters < self.maxiter:
             m = min(self.restart, self.maxiter - total_iters)
             # Arnoldi basis and Hessenberg matrix.  The weighted fast path
@@ -137,11 +146,9 @@ class Gmres:
             # would double the memory traffic of every gemv); the generic
             # path keeps element-layout vectors.
             v: list[FloatArray] = []
-            vmat = ww = None
-            if weight is not None and wf is not None:
-                n = b.size
-                vmat = np.empty((m + 1, n))
-                ww = np.empty(n)
+            vmat: FloatArray | None = None
+            if vmat_ws is not None:
+                vmat = vmat_ws[: m + 1]
                 np.divide(r.reshape(-1), beta, out=vmat[0])
             else:
                 v = [r / beta]
@@ -180,7 +187,8 @@ class Gmres:
                     if 2.0 * h2 < h2 + float(np.dot(hcol, hcol)):
                         corr = vmat[: k + 1] @ ww
                         wflat -= corr @ vmat[: k + 1]
-                        hc = [a + b for a, b in zip(hc, corr.tolist())]
+                        for i, ci in enumerate(corr.tolist()):
+                            hc[i] += ci
                         np.multiply(wflat, wf, out=ww)
                         h2 = float(max(np.dot(ww, wflat), 0.0))
                     h_next = float(np.sqrt(h2))

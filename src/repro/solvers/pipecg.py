@@ -113,10 +113,17 @@ class PipelinedConjugateGradient:
                 beta = gamma / gamma_old
                 alpha = gamma / (delta - beta * gamma / alpha_old)
 
-            z = n + beta * z
-            q = m + beta * q
-            s = w + beta * s
-            p = u + beta * p
+            # In-place recurrence updates: beta*v + y is bitwise identical
+            # to y + beta*v and reuses the four direction buffers instead
+            # of allocating them anew every iteration.
+            z *= beta
+            z += n
+            q *= beta
+            q += m
+            s *= beta
+            s += w
+            p *= beta
+            p += u
 
             x += alpha * p
             r -= alpha * s

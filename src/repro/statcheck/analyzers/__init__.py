@@ -1,0 +1,47 @@
+"""Interprocedural analyzers built on the call graph + dataflow framework.
+
+Three analyzers, each encoding a scaling invariant the ROADMAP's next
+pushes depend on; see the individual modules for the rationale.
+"""
+
+from __future__ import annotations
+
+from repro.statcheck.analyzers.allocations import HotLoopAllocationAnalyzer
+from repro.statcheck.analyzers.base import Analyzer
+from repro.statcheck.analyzers.collectives import CollectiveOrderingAnalyzer
+from repro.statcheck.analyzers.precision import PrecisionFlowAnalyzer
+
+__all__ = [
+    "ALL_ANALYZERS",
+    "Analyzer",
+    "CollectiveOrderingAnalyzer",
+    "HotLoopAllocationAnalyzer",
+    "PrecisionFlowAnalyzer",
+    "get_analyzers",
+]
+
+#: CLI keyword -> analyzer class ("all" expands to every entry, in order).
+ALL_ANALYZERS: dict[str, type[Analyzer]] = {
+    "precision": PrecisionFlowAnalyzer,
+    "collectives": CollectiveOrderingAnalyzer,
+    "allocations": HotLoopAllocationAnalyzer,
+}
+
+
+def get_analyzers(selection: str | list[str] | None) -> list[Analyzer]:
+    """Resolve an ``--analysis`` selection into analyzer instances."""
+    if selection is None:
+        return []
+    names = [selection] if isinstance(selection, str) else list(selection)
+    if "all" in names:
+        names = list(ALL_ANALYZERS)
+    unknown = [n for n in names if n not in ALL_ANALYZERS]
+    if unknown:
+        raise ValueError(
+            f"unknown analysis {unknown}; available: {sorted(ALL_ANALYZERS)} or 'all'"
+        )
+    seen: list[str] = []
+    for n in names:
+        if n not in seen:
+            seen.append(n)
+    return [ALL_ANALYZERS[n]() for n in seen]

@@ -1,0 +1,62 @@
+"""Analyzer base class and registry.
+
+Analyzers are the interprocedural, flow-sensitive cousins of the
+per-module rules: they receive the whole :class:`~repro.statcheck.callgraph.Project`
+(parsed modules + call graph) instead of one :class:`ModuleContext`, and
+emit the same :class:`~repro.statcheck.finding.Finding` objects -- so the
+suppression grammar, the count-based baseline and every output format
+apply unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.statcheck.finding import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.statcheck.callgraph import FunctionInfo, Project
+
+__all__ = ["Analyzer"]
+
+
+class Analyzer:
+    """One named project-wide analysis.
+
+    Subclasses set :attr:`name` (the kebab-case id used in suppressions,
+    baselines and ``--analysis``), :attr:`severity` (the default finding
+    severity) and implement :meth:`check`.
+    """
+
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by analyzers ----------------------------------------
+
+    def finding(
+        self,
+        info: "FunctionInfo",
+        node: ast.AST,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` inside function ``info``."""
+        ctx = info.ctx
+        lineno = getattr(node, "lineno", info.node.lineno)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.name,
+            path=ctx.relpath,
+            line=lineno,
+            col=col,
+            message=message,
+            severity=severity if severity is not None else self.severity,
+            source_line=ctx.source_line(lineno),
+        )
+
+

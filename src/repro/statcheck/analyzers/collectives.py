@@ -1,0 +1,354 @@
+"""collective-ordering: deadlock shapes in the rank-parallel layer.
+
+MPI programs hang, not crash, when ranks disagree about which collective
+comes next.  ``repro.comm`` simulates the rank-parallel execution inside
+one process (so such bugs show up as wrong answers or test hangs), and the
+ROADMAP's O(10^3)-rank refactor will make the call patterns strictly more
+complex -- the time to pin the discipline is before that refactor.
+
+The analyzer enumerates execution paths per function in ``repro.comm``
+(loops taken zero-or-once, ``raise`` paths dropped as legitimate error
+exits) and extracts the sequence of collective / point-to-point calls on
+each path.  Three checks:
+
+* **rank-dependent collectives** (ERROR): a collective lexically inside a
+  conditional whose test mentions a rank -- the canonical "some ranks
+  enter the allreduce, some don't" deadlock.
+* **divergent ordering across branches** (WARNING): two branches of an
+  ``if`` issue collective sequences where neither is a prefix of the
+  other.  Pure prefix divergence is tolerated: it is the uniform
+  early-exit convention every iterative solver uses (all ranks break out
+  of the loop together after a collective-agreed test).
+* **unpaired point-to-point** (WARNING): an execution path with differing
+  send and receive counts.
+
+Call sequences are flattened through the call graph: a call into another
+``repro.comm`` function splices that function's collective sequence in
+place when it is unambiguous (all paths agree), and an opaque marker when
+it is not -- the marker is identical on every path, so it cannot fake a
+divergence, but it still participates in ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.statcheck.analyzers.base import Analyzer
+from repro.statcheck.finding import Finding, Severity
+from repro.statcheck.rules.base import attr_chain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.statcheck.callgraph import CallGraph, FunctionInfo, Project
+
+__all__ = ["CollectiveOrderingAnalyzer"]
+
+#: Method names that denote a collective operation on a communicator.
+COLLECTIVE_NAMES = {
+    "allreduce_scalar", "allreduce_array", "allreduce", "allgather", "alltoall",
+    "barrier", "bcast", "broadcast", "exchange", "gather", "reduce", "scatter",
+}
+SEND_NAMES = {"send", "isend"}
+RECV_NAMES = {"recv", "irecv"}
+
+#: Cap on enumerated paths per function; beyond it the function is skipped
+#: (a conservative bail-out, not a silent partial answer).
+PATH_CAP = 64
+
+_EventFn = Callable[[ast.Call], tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class _Path:
+    events: tuple[str, ...]
+    status: str  # "ok" | "return" | "break" | "continue" | "raise"
+
+
+def _calls_in(node: ast.AST | None) -> list[ast.Call]:
+    """Call nodes in ``node`` outside nested defs/classes/lambdas, in
+    lexical order (a stable approximation of evaluation order)."""
+    if node is None:
+        return []
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if cur is not node and isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(cur, ast.Call):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    out.sort(key=lambda c: (c.lineno, c.col_offset))
+    return out
+
+
+def _events_in(node: ast.AST | None, ev: _EventFn) -> tuple[str, ...]:
+    events: list[str] = []
+    for call in _calls_in(node):
+        events.extend(ev(call))
+    return tuple(events)
+
+
+def _dedup(paths: list[_Path], cap: int) -> list[_Path]:
+    seen: set[_Path] = set()
+    out: list[_Path] = []
+    for p in paths:
+        if p not in seen:
+            seen.add(p)
+            out.append(p)
+    if len(out) > cap:
+        raise _TooManyPaths()
+    return out
+
+
+class _TooManyPaths(Exception):
+    pass
+
+
+def enumerate_paths(stmts: list[ast.stmt], ev: _EventFn, cap: int = PATH_CAP) -> list[_Path]:
+    """All event sequences one execution of ``stmts`` can produce."""
+    paths = [_Path((), "ok")]
+    for stmt in stmts:
+        nxt: list[_Path] = []
+        for p in paths:
+            if p.status != "ok":
+                nxt.append(p)
+                continue
+            for q in _stmt_paths(stmt, ev, cap):
+                nxt.append(_Path(p.events + q.events, q.status))
+        paths = _dedup(nxt, cap)
+    return paths
+
+
+def _loop_paths(
+    head_events: tuple[str, ...], body: list[ast.stmt], ev: _EventFn, cap: int
+) -> list[_Path]:
+    """Zero-or-one executions of a loop body; break/continue end the loop."""
+    out = [_Path(head_events, "ok")]
+    for p in enumerate_paths(body, ev, cap):
+        status = "ok" if p.status in ("break", "continue") else p.status
+        out.append(_Path(head_events + p.events, status))
+    return out
+
+
+def _stmt_paths(stmt: ast.stmt, ev: _EventFn, cap: int) -> list[_Path]:
+    if isinstance(stmt, ast.If):
+        test = _events_in(stmt.test, ev)
+        out: list[_Path] = []
+        for branch in (stmt.body, stmt.orelse):
+            for p in enumerate_paths(branch, ev, cap):
+                out.append(_Path(test + p.events, p.status))
+        return out
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _loop_paths(_events_in(stmt.iter, ev), stmt.body, ev, cap)
+    if isinstance(stmt, ast.While):
+        return _loop_paths(_events_in(stmt.test, ev), stmt.body, ev, cap)
+    if isinstance(stmt, ast.Return):
+        return [_Path(_events_in(stmt.value, ev), "return")]
+    if isinstance(stmt, ast.Raise):
+        return [_Path((), "raise")]
+    if isinstance(stmt, ast.Break):
+        return [_Path((), "break")]
+    if isinstance(stmt, ast.Continue):
+        return [_Path((), "continue")]
+    if isinstance(stmt, ast.Try):
+        # The happy path; handler bodies are error paths and stay out of
+        # the ordering contract (like raise-terminated paths).
+        return enumerate_paths(stmt.body + stmt.orelse + stmt.finalbody, ev, cap)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        head: tuple[str, ...] = ()
+        for item in stmt.items:
+            head += _events_in(item.context_expr, ev)
+        return [
+            _Path(head + p.events, p.status) for p in enumerate_paths(stmt.body, ev, cap)
+        ]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [_Path((), "ok")]
+    return [_Path(_events_in(stmt, ev), "ok")]
+
+
+def _is_prefix(a: tuple[str, ...], b: tuple[str, ...]) -> bool:
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and "rank" in n.id.lower():
+            return True
+        if isinstance(n, ast.Attribute) and "rank" in n.attr.lower():
+            return True
+    return False
+
+
+def _direct_event(call: ast.Call) -> str | None:
+    """Collective/p2p name when ``call`` is a communicator method call."""
+    chain = attr_chain(call.func)
+    if chain is None or "." not in chain:
+        return None
+    final = chain.rsplit(".", 1)[-1]
+    if final in COLLECTIVE_NAMES or final in SEND_NAMES or final in RECV_NAMES:
+        return final
+    return None
+
+
+class CollectiveOrderingAnalyzer(Analyzer):
+    name = "collective-ordering"
+    severity = Severity.WARNING
+    description = (
+        "deadlock shapes in repro.comm: rank-conditional collectives, divergent "
+        "collective orderings across branches, unpaired send/recv"
+    )
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        graph = project.callgraph
+        scope = {
+            qname
+            for qname, info in graph.functions.items()
+            if info.ctx.in_package("comm")
+        }
+        self._seq_memo: dict[str, tuple[str, ...]] = {}
+        for qname in sorted(scope):
+            yield from self._check_function(graph, scope, graph.functions[qname])
+
+    # -- interprocedural sequence summaries ---------------------------------
+
+    def _event_fn(self, graph: "CallGraph", scope: set[str], qname: str) -> _EventFn:
+        sites = {id(s.node): s.callee for s in graph.callees_of(qname)}
+
+        def ev(call: ast.Call) -> tuple[str, ...]:
+            direct = _direct_event(call)
+            if direct is not None:
+                return (direct,)
+            callee = sites.get(id(call))
+            if callee is not None and callee in scope:
+                return self._callee_seq(graph, scope, callee, stack=(qname,))
+            return ()
+
+        return ev
+
+    def _callee_seq(
+        self, graph: "CallGraph", scope: set[str], qname: str, stack: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Canonical collective sequence of ``qname``: the common event
+        sequence of all its non-raise paths, or one opaque marker when the
+        paths disagree or recursion makes the answer path-dependent."""
+        if qname in self._seq_memo:
+            return self._seq_memo[qname]
+        if qname in stack or len(stack) > 16:
+            return (f"<{qname}>",)
+        sites = {id(s.node): s.callee for s in graph.callees_of(qname)}
+
+        def ev(call: ast.Call) -> tuple[str, ...]:
+            direct = _direct_event(call)
+            if direct is not None:
+                return (direct,)
+            callee = sites.get(id(call))
+            if callee is not None and callee in scope:
+                return self._callee_seq(graph, scope, callee, stack + (qname,))
+            return ()
+
+        info = graph.functions[qname]
+        try:
+            paths = enumerate_paths(info.node.body, ev)
+        except _TooManyPaths:
+            seq: tuple[str, ...] = (f"<{qname}>",)
+        else:
+            seqs = {p.events for p in paths if p.status != "raise"}
+            if len(seqs) == 1:
+                seq = next(iter(seqs))
+            elif not any(seqs):
+                seq = ()
+            else:
+                seq = (f"<{qname}>",)
+        self._seq_memo[qname] = seq
+        return seq
+
+    # -- the three checks ----------------------------------------------------
+
+    def _check_function(
+        self, graph: "CallGraph", scope: set[str], info: "FunctionInfo"
+    ) -> Iterator[Finding]:
+        ctx = info.ctx
+        ev = self._event_fn(graph, scope, info.qname)
+
+        # 1. Collectives under rank-dependent conditionals (lexical).
+        for call in _calls_in(info.node):
+            name = _direct_event(call)
+            if name is None or name in SEND_NAMES or name in RECV_NAMES:
+                continue  # p2p under rank conditionals is the normal idiom
+            for anc in ctx.ancestors(call):
+                if anc is info.node:
+                    break
+                if isinstance(anc, ast.If) and _mentions_rank(anc.test):
+                    yield self.finding(
+                        info,
+                        call,
+                        f"collective '{name}' under a rank-dependent conditional; "
+                        "all ranks must reach every collective",
+                        severity=Severity.ERROR,
+                    )
+                    break
+
+        # 2. Divergent collective orderings across if-branches.
+        ifs = [
+            n
+            for n in ast.walk(info.node)
+            if isinstance(n, ast.If) and self._inside(ctx, n, info.node)
+        ]
+        flagged: list[ast.If] = []
+        # Innermost first, so one divergence is reported once, not at
+        # every enclosing if.
+        for if_node in sorted(ifs, key=lambda n: -self._depth(ctx, n)):
+            if any(if_node in ctx.ancestors(f) for f in flagged):
+                continue
+            try:
+                a = {p.events for p in enumerate_paths(if_node.body, ev) if p.status != "raise"}
+                b = {p.events for p in enumerate_paths(if_node.orelse, ev) if p.status != "raise"}
+            except _TooManyPaths:
+                continue
+            if any(
+                not _is_prefix(x, y) and not _is_prefix(y, x)
+                for x in a
+                for y in b
+            ):
+                flagged.append(if_node)
+                yield self.finding(
+                    info,
+                    if_node,
+                    "collective orderings diverge across these branches "
+                    "(neither sequence is a prefix of the other): deadlock shape",
+                )
+
+        # 3. Send/recv pairing per execution path.
+        try:
+            paths = enumerate_paths(info.node.body, ev)
+        except _TooManyPaths:
+            return
+        for p in paths:
+            if p.status == "raise":
+                continue
+            sends = sum(1 for e in p.events if e in SEND_NAMES)
+            recvs = sum(1 for e in p.events if e in RECV_NAMES)
+            if sends != recvs:
+                yield self.finding(
+                    info,
+                    info.node,
+                    f"execution path issues {sends} send(s) but {recvs} recv(s); "
+                    "unpaired point-to-point traffic deadlocks under rendezvous",
+                )
+                break
+
+    @staticmethod
+    def _inside(ctx, node: ast.AST, func: ast.AST) -> bool:
+        """True when ``node``'s nearest enclosing def is ``func``."""
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return anc is func
+        return False
+
+    @staticmethod
+    def _depth(ctx, node: ast.AST) -> int:
+        return sum(1 for _ in ctx.ancestors(node))

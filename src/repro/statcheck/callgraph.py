@@ -1,0 +1,309 @@
+"""Project-wide call graph for the interprocedural analyzers.
+
+The graph is deliberately conservative: an edge exists only when the
+callee can be resolved with high confidence, and everything else is left
+*unresolved* (analyzers treat unresolved calls as opaque).  Resolution
+covers the cases that matter for this codebase:
+
+* ``f(...)`` where ``f`` is a module-level function of the same module or
+  imported with ``from <project module> import f``;
+* ``self.m(...)`` inside a class body, resolved to the method ``m`` of
+  that class;
+* ``alias.f(...)`` where ``alias`` names a project module (``import
+  repro.x as alias`` / ``from repro import x``);
+* ``obj.m(...)`` where exactly **one** class in the whole project defines
+  a method called ``m`` (unique-method-name resolution -- the lightweight
+  cousin of class-hierarchy analysis).  Method names defined by several
+  classes (``add``, ``solve``, ...) stay unresolved rather than guessed.
+
+Nested ``def``s are not registered as call-graph nodes; calls inside them
+are attributed to nobody (closures in this tree are setup-time geometry
+maps, not solver paths).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.statcheck.engine import ModuleContext, iter_python_files
+from repro.statcheck.rules.base import attr_chain
+
+__all__ = ["CallGraph", "CallSite", "FunctionInfo", "Project", "build_callgraph"]
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Method names shared with builtin containers / ndarrays / files: excluded
+#: from unique-method-name resolution (see :meth:`CallGraph.resolve_method`).
+_BUILTIN_METHOD_NAMES = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse",
+    "index", "count", "get", "items", "keys", "values", "update", "setdefault",
+    "add", "discard", "union", "intersection", "join", "split", "strip",
+    "startswith", "endswith", "format", "replace", "encode", "decode",
+    "read", "write", "close", "flush", "seek", "copy", "astype", "reshape",
+    "ravel", "flatten", "transpose", "fill", "sum", "mean", "min", "max",
+    "dot", "tolist", "item",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method in the project."""
+
+    qname: str  # "repro.sem.coef:Coefficients.rebuild" / "repro.sem.coef:helper"
+    module: str
+    ctx: ModuleContext
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+        if a.vararg is not None:
+            names.append(a.vararg.arg)
+        if a.kwarg is not None:
+            names.append(a.kwarg.arg)
+        return names
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a registered function."""
+
+    caller: str  # qname of the enclosing function
+    node: ast.Call
+    chain: str | None  # dotted source text of the callee ("np.dot", "self.f")
+    callee: str | None  # resolved qname, or None when opaque
+
+
+class CallGraph:
+    """Functions, call sites and caller/callee adjacency."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.sites: dict[str, list[CallSite]] = {}
+        self.callers: dict[str, set[str]] = {}
+        #: method name -> qnames of every class method with that name.
+        self.methods_by_name: dict[str, list[str]] = {}
+
+    def callees_of(self, qname: str) -> list[CallSite]:
+        return self.sites.get(qname, [])
+
+    def callers_of(self, qname: str) -> set[str]:
+        return self.callers.get(qname, set())
+
+    def function(self, qname: str) -> FunctionInfo | None:
+        return self.functions.get(qname)
+
+    def resolve_method(self, name: str) -> str | None:
+        """Unique-method-name resolution; None when absent or ambiguous.
+
+        Names that builtin containers/arrays also define (``append``,
+        ``get``, ``copy``, ...) never resolve this way: a project class
+        happening to define the only method called ``append`` must not
+        capture every ``list.append`` call in the tree.
+        """
+        if name in _BUILTIN_METHOD_NAMES:
+            return None
+        hits = self.methods_by_name.get(name, [])
+        return hits[0] if len(hits) == 1 else None
+
+
+def _project_module(name: str, known: set[str]) -> str | None:
+    """Map an imported dotted name to a known project module, if any."""
+    return name if name in known else None
+
+
+def _module_imports(ctx: ModuleContext, known: set[str]) -> dict[str, str]:
+    """Local alias -> imported project symbol.
+
+    Values are either ``"<module>"`` (the alias names a module) or
+    ``"<module>:<symbol>"`` (the alias names a function/class imported
+    from a project module).
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mod = _project_module(alias.name, known)
+                if mod is not None:
+                    out[alias.asname or alias.name.split(".")[0]] = mod
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                if _project_module(full, known) is not None:
+                    out[alias.asname or alias.name] = full
+                elif _project_module(node.module, known) is not None:
+                    out[alias.asname or alias.name] = f"{node.module}:{alias.name}"
+    return out
+
+
+def build_callgraph(modules: list[ModuleContext]) -> CallGraph:
+    """Build the project call graph over parsed modules."""
+    graph = CallGraph()
+    known_modules = {ctx.module for ctx in modules}
+
+    # Pass 1: register module-level functions and class methods.
+    for ctx in modules:
+        body = getattr(ctx.tree, "body", [])
+        for stmt in body:
+            if isinstance(stmt, _FuncDef):
+                qname = f"{ctx.module}:{stmt.name}"
+                graph.functions[qname] = FunctionInfo(qname, ctx.module, ctx, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, _FuncDef):
+                        qname = f"{ctx.module}:{stmt.name}.{sub.name}"
+                        graph.functions[qname] = FunctionInfo(
+                            qname, ctx.module, ctx, sub, class_name=stmt.name
+                        )
+                        graph.methods_by_name.setdefault(sub.name, []).append(qname)
+
+    # Pass 2: resolve call sites.
+    for ctx in modules:
+        imports = _module_imports(ctx, known_modules)
+        module_funcs = {
+            info.name: qname
+            for qname, info in graph.functions.items()
+            if info.module == ctx.module and info.class_name is None
+        }
+        body = getattr(ctx.tree, "body", [])
+        for stmt in body:
+            if isinstance(stmt, _FuncDef):
+                _resolve_function(graph, ctx, stmt, None, imports, module_funcs)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, _FuncDef):
+                        _resolve_function(
+                            graph, ctx, sub, stmt.name, imports, module_funcs
+                        )
+    return graph
+
+
+def _own_calls(node: ast.AST) -> list[ast.Call]:
+    """Call nodes lexically inside ``node`` but outside nested defs/classes."""
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (*_FuncDef, ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(cur, ast.Call):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    out.sort(key=lambda c: (c.lineno, c.col_offset))
+    return out
+
+
+def _resolve_function(
+    graph: CallGraph,
+    ctx: ModuleContext,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    class_name: str | None,
+    imports: dict[str, str],
+    module_funcs: dict[str, str],
+) -> None:
+    qname = (
+        f"{ctx.module}:{class_name}.{node.name}"
+        if class_name
+        else f"{ctx.module}:{node.name}"
+    )
+    info = graph.functions.get(qname)
+    if info is None:  # pragma: no cover - registration and resolution agree
+        return
+    local_params = set(info.params)
+    sites: list[CallSite] = []
+    for call in _own_calls(node):
+        chain = attr_chain(call.func)
+        callee = _resolve_call(
+            graph, ctx, chain, class_name, imports, module_funcs, local_params
+        )
+        sites.append(CallSite(caller=qname, node=call, chain=chain, callee=callee))
+        if callee is not None:
+            graph.callers.setdefault(callee, set()).add(qname)
+    graph.sites[qname] = sites
+
+
+def _resolve_call(
+    graph: CallGraph,
+    ctx: ModuleContext,
+    chain: str | None,
+    class_name: str | None,
+    imports: dict[str, str],
+    module_funcs: dict[str, str],
+    local_params: set[str],
+) -> str | None:
+    if chain is None:
+        return None
+    parts = chain.split(".")
+    if len(parts) == 1:
+        name = parts[0]
+        if name in local_params:
+            return None  # calling a callable parameter: opaque
+        if name in module_funcs:
+            return module_funcs[name]
+        target = imports.get(name)
+        if target is not None and ":" in target:
+            mod, sym = target.split(":", 1)
+            qname = f"{mod}:{sym}"
+            return qname if qname in graph.functions else None
+        return None
+    if parts[0] == "self" and len(parts) == 2 and class_name is not None:
+        qname = f"{ctx.module}:{class_name}.{parts[1]}"
+        if qname in graph.functions:
+            return qname
+        return graph.resolve_method(parts[1])
+    if len(parts) == 2:
+        target = imports.get(parts[0])
+        if target is not None and ":" not in target:
+            qname = f"{target}:{parts[1]}"
+            if qname in graph.functions:
+                return qname
+    # Fall back to unique-method-name resolution on the final attribute.
+    return graph.resolve_method(parts[-1])
+
+
+class Project:
+    """All parsed modules of one run plus the (lazily built) call graph."""
+
+    def __init__(
+        self, modules: list[ModuleContext], errors: list[str] | None = None
+    ) -> None:
+        self.modules = modules
+        self.errors = list(errors or [])
+        self._graph: CallGraph | None = None
+        self._by_relpath = {ctx.relpath: ctx for ctx in modules}
+
+    @classmethod
+    def load(cls, paths: list[Path], root: Path | None = None) -> "Project":
+        """Parse every Python file under ``paths`` (parse errors reported)."""
+        modules: list[ModuleContext] = []
+        errors: list[str] = []
+        for path in iter_python_files(paths):
+            try:
+                modules.append(ModuleContext.from_path(path, root=root))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                errors.append(f"{path}: {type(exc).__name__}: {exc}")
+        return cls(modules, errors)
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = build_callgraph(self.modules)
+        return self._graph
+
+    def module_by_relpath(self, relpath: str) -> ModuleContext | None:
+        return self._by_relpath.get(relpath)
+
+    def functions_in_packages(self, *packages: str) -> list[FunctionInfo]:
+        return [
+            info
+            for info in self.callgraph.functions.values()
+            if info.ctx.in_package(*packages)
+        ]

@@ -11,10 +11,12 @@ import json
 import sys
 from pathlib import Path
 
+from repro.statcheck.analyzers import ALL_ANALYZERS, get_analyzers
 from repro.statcheck.baseline import Baseline, partition_findings
-from repro.statcheck.engine import check_paths
+from repro.statcheck.engine import check_project
 from repro.statcheck.finding import Severity
 from repro.statcheck.rules import ALL_RULES, get_rules
+from repro.statcheck.sarif import to_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -41,11 +43,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this rule (repeatable)",
     )
     parser.add_argument(
+        "--analysis", action="append", default=None,
+        choices=[*ALL_ANALYZERS, "all"],
+        help="also run this interprocedural analyzer (repeatable; 'all' runs every one)",
+    )
+    parser.add_argument(
         "--fail-on", default="warning", choices=[s.name.lower() for s in Severity],
         help="minimum severity of NEW findings that fails the run (default: warning)",
     )
     parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
+        "--format", default="text", choices=["text", "json", "sarif"],
         help="output format (default: text)",
     )
     parser.add_argument(
@@ -64,15 +71,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for cls in ALL_RULES:
             print(f"{cls.name:<22s} {cls.severity.name.lower():<8s} {cls.description}", file=out)
+        for acls in ALL_ANALYZERS.values():
+            print(
+                f"{acls.name:<22s} {acls.severity.name.lower():<8s} {acls.description}",
+                file=out,
+            )
         return 0
 
     try:
         rules = get_rules(args.select)
+        analyzers = get_analyzers(args.analysis)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    findings, errors = check_paths(args.paths, rules)
+    findings, errors = check_project(args.paths, rules, analyzers)
     for err in errors:
         print(f"error: {err}", file=sys.stderr)
 
@@ -95,7 +108,10 @@ def main(argv: list[str] | None = None) -> int:
     failing = [f for f in new if f.severity >= threshold]
     advisory = [f for f in new if f.severity < threshold]
 
-    if args.format == "json":
+    if args.format == "sarif":
+        json.dump(to_sarif(new, baselined, checks=[*rules, *analyzers]), out, indent=2)
+        print(file=out)
+    elif args.format == "json":
         json.dump(
             {
                 "new": [f.to_json() for f in new],
@@ -130,7 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if failing:
         return 1
-    if advisory:
+    if advisory and args.format != "sarif":
         print(
             f"note: {len(advisory)} new finding(s) below the fail threshold",
             file=out,

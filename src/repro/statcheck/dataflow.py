@@ -1,0 +1,425 @@
+"""Flow-sensitive, interprocedural fixpoint dataflow framework.
+
+Three pieces, each small and reusable by any analyzer:
+
+* :class:`FlatLattice` -- a finite join-semilattice over a set of atoms
+  with a distinguished bottom ("no information") and top ("conflicting
+  information"); ``join`` is the least upper bound.  Height 3, so every
+  monotone fixpoint over it terminates.
+* :class:`AbstractInterpreter` -- a flow-sensitive walk of one function
+  body mapping local variable names to lattice values.  Branches of an
+  ``if`` are interpreted in parallel and joined; loop bodies are
+  interpreted twice so loop-carried values reach their fixpoint (values
+  only ever climb the lattice, and the lattice is finite, so two passes
+  suffice for a height-3 lattice).  Subclasses provide the *transfer
+  functions* (what a call or constant means in the abstract domain).
+* :class:`SummarySolver` -- the interprocedural layer: computes one
+  context-insensitive summary per call-graph function (the join of every
+  observed argument binding -> the join of every reachable ``return``)
+  with a worklist iteration that re-queues callers when a summary climbs
+  and callees when their observed arguments climb.  Monotone + finite
+  lattice => the worklist drains; a generous pass cap turns a framework
+  bug into a loud error instead of a hang.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.statcheck.callgraph import CallGraph, FunctionInfo
+
+__all__ = ["AbstractInterpreter", "FlatLattice", "FunctionSummary", "SummarySolver"]
+
+
+class FlatLattice:
+    """Bottom < atoms < top, with ``join`` as least upper bound."""
+
+    def __init__(self, atoms: Iterable[str], bottom: str, top: str) -> None:
+        self.bottom = bottom
+        self.top = top
+        self.atoms = tuple(a for a in atoms if a not in (bottom, top))
+        self.values = (bottom, *self.atoms, top)
+
+    def join(self, a: str, b: str) -> str:
+        if a not in self.values or b not in self.values:
+            bad = a if a not in self.values else b
+            raise ValueError(f"{bad!r} is not an element of this lattice")
+        if a == b:
+            return a
+        if a == self.bottom:
+            return b
+        if b == self.bottom:
+            return a
+        return self.top
+
+    def join_all(self, values: Iterable[str]) -> str:
+        out = self.bottom
+        for v in values:
+            out = self.join(out, v)
+        return out
+
+    def leq(self, a: str, b: str) -> bool:
+        """Partial order: ``a <= b`` iff joining a into b changes nothing."""
+        return self.join(a, b) == b
+
+
+@dataclass
+class FunctionSummary:
+    """Context-insensitive summary of one function."""
+
+    params: dict[str, str] = field(default_factory=dict)  # joined observed args
+    ret: str = ""  # joined return value (lattice bottom until computed)
+
+
+class AbstractInterpreter:
+    """Flow-sensitive abstract interpretation of one function body.
+
+    Subclasses override the ``transfer_*`` hooks; the base class owns the
+    control flow (sequencing, branch joins, loop stabilization) and the
+    generic expression structure (names, binops, subscripts, ternaries).
+    """
+
+    def __init__(self, lattice: FlatLattice) -> None:
+        self.lattice = lattice
+        #: id(ast.Call) -> resolved callee qname, for the current function.
+        #: Filled by :class:`SummarySolver` (or the analyzer's emit pass).
+        self.site_callees: dict[int, str | None] = {}
+
+    def callee_of(self, node: ast.Call) -> str | None:
+        return self.site_callees.get(id(node))
+
+    # -- transfer hooks (the abstract domain) -------------------------------
+
+    def transfer_call(
+        self,
+        node: ast.Call,
+        chain: str | None,
+        args: list[str],
+        env: dict[str, str],
+        recv: str,
+    ) -> str:
+        """Abstract value of a call; ``recv`` is the method receiver's value
+        (lattice bottom for plain function calls).  Default: opaque."""
+        return self.lattice.bottom
+
+    def transfer_constant(self, node: ast.Constant) -> str:
+        return self.lattice.bottom
+
+    def transfer_attribute(self, node: ast.Attribute, env: dict[str, str]) -> str:
+        return self.lattice.bottom
+
+    def on_call(
+        self, node: ast.Call, chain: str | None, args: list[str], env: dict[str, str]
+    ) -> None:
+        """Observation hook: every evaluated call, with argument values."""
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.expr | None, env: dict[str, str]) -> str:
+        bot = self.lattice.bottom
+        if node is None:
+            return bot
+        if isinstance(node, ast.Name):
+            return env.get(node.id, bot)
+        if isinstance(node, ast.Constant):
+            return self.transfer_constant(node)
+        if isinstance(node, ast.Call):
+            from repro.statcheck.rules.base import attr_chain
+
+            # Evaluate the receiver expression of method calls too, so a
+            # chain like ``helper(x).astype(...)`` sees its operand value.
+            recv = bot
+            if isinstance(node.func, ast.Attribute):
+                recv = self.eval(node.func.value, env)
+            args = [self.eval(a, env) for a in node.args]
+            for kw in node.keywords:
+                self.eval(kw.value, env)
+            chain = attr_chain(node.func)
+            self.on_call(node, chain, args, env)
+            return self.transfer_call(node, chain, args, env, recv)
+        if isinstance(node, ast.BinOp):
+            return self.lattice.join(self.eval(node.left, env), self.eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            return self.lattice.join_all(self.eval(v, env) for v in node.values)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, env)
+            for c in node.comparators:
+                self.eval(c, env)
+            return bot
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.lattice.join(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Attribute):
+            return self.transfer_attribute(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self.lattice.join_all(self.eval(e, env) for e in node.elts)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = dict(env)
+            for gen in node.generators:
+                src = self.eval(gen.iter, env)
+                self._bind_target(gen.target, src, comp_env)
+            return self.eval(node.elt, comp_env)
+        if isinstance(node, ast.DictComp):
+            comp_env = dict(env)
+            for gen in node.generators:
+                src = self.eval(gen.iter, env)
+                self._bind_target(gen.target, src, comp_env)
+            return self.eval(node.value, comp_env)
+        if isinstance(node, ast.Dict):
+            return self.lattice.join_all(
+                self.eval(v, env) for v in node.values if v is not None
+            )
+        if isinstance(node, ast.NamedExpr):
+            val = self.eval(node.value, env)
+            self._bind_target(node.target, val, env)
+            return val
+        if isinstance(node, ast.Lambda):
+            return bot
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return bot
+        if isinstance(node, ast.Await):
+            return self.eval(node.value, env)
+        return bot
+
+    # -- statements ----------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, value: str, env: dict[str, str]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, value, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, env)
+        # Attribute / Subscript targets mutate objects, not locals: ignored.
+
+    def exec_block(
+        self, stmts: list[ast.stmt], env: dict[str, str], returns: list[str]
+    ) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env, returns)
+
+    def exec_stmt(
+        self, stmt: ast.stmt, env: dict[str, str], returns: list[str]
+    ) -> None:
+        join = self.lattice.join
+        if isinstance(stmt, ast.Assign):
+            val = self.eval(stmt.value, env)
+            for t in stmt.targets:
+                self._bind_target(t, val, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, self.eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            val = self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                env[name] = join(env.get(name, self.lattice.bottom), val)
+        elif isinstance(stmt, ast.Return):
+            returns.append(self.eval(stmt.value, env))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            env_then = dict(env)
+            env_else = dict(env)
+            self.exec_block(stmt.body, env_then, returns)
+            self.exec_block(stmt.orelse, env_else, returns)
+            self._merge_into(env, env_then, env_else)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            src = self.eval(stmt.iter, env)
+            # Two passes: the first discovers loop-carried bindings, the
+            # second lets values that climbed feed back into the body.
+            for _ in range(2):
+                self._bind_target(stmt.target, src, env)
+                env_body = dict(env)
+                self.exec_block(stmt.body, env_body, returns)
+                self._merge_into(env, env_body)
+            self.exec_block(stmt.orelse, env, returns)
+        elif isinstance(stmt, ast.While):
+            for _ in range(2):
+                self.eval(stmt.test, env)
+                env_body = dict(env)
+                self.exec_block(stmt.body, env_body, returns)
+                self._merge_into(env, env_body)
+            self.exec_block(stmt.orelse, env, returns)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                val = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, val, env)
+            self.exec_block(stmt.body, env, returns)
+        elif isinstance(stmt, ast.Try):
+            env_body = dict(env)
+            self.exec_block(stmt.body, env_body, returns)
+            self._merge_into(env, env_body)
+            for handler in stmt.handlers:
+                env_h = dict(env)
+                self.exec_block(handler.body, env_h, returns)
+                self._merge_into(env, env_h)
+            self.exec_block(stmt.orelse, env, returns)
+            self.exec_block(stmt.finalbody, env, returns)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            if isinstance(stmt, ast.Assert):
+                self.eval(stmt.test, env)
+            elif stmt.exc is not None:
+                self.eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    env.pop(t.id, None)
+        # Nested defs/classes, imports, pass, global/nonlocal: no effect
+        # on the local abstract state.
+
+    def _merge_into(self, env: dict[str, str], *branches: dict[str, str]) -> None:
+        """Join branch environments back into ``env`` (in place)."""
+        join = self.lattice.join
+        bot = self.lattice.bottom
+        keys = set(env)
+        for b in branches:
+            keys |= set(b)
+        for k in keys:
+            env[k] = self.lattice.join_all(
+                [env.get(k, bot)] + [b.get(k, bot) for b in branches]
+            )
+
+    # -- whole-function driver ----------------------------------------------
+
+    def run_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, params: dict[str, str]
+    ) -> tuple[dict[str, str], str]:
+        """Interpret one function body.
+
+        Returns ``(final_env, joined_return_value)``.
+        """
+        env = dict(params)
+        returns: list[str] = []
+        self.exec_block(node.body, env, returns)
+        return env, self.lattice.join_all(returns)
+
+
+class SummarySolver:
+    """Worklist fixpoint over the call graph's function summaries."""
+
+    #: Hard cap on worklist passes; the finite lattice converges far
+    #: earlier, so hitting the cap means a non-monotone transfer function.
+    MAX_PASSES = 10_000
+
+    def __init__(
+        self,
+        graph: "CallGraph",
+        lattice: FlatLattice,
+        make_interpreter,
+        functions: Iterable[str] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.lattice = lattice
+        #: ``make_interpreter(solver) -> AbstractInterpreter`` so analyzer
+        #: interpreters can call back into :meth:`summary_for`.
+        self.make_interpreter = make_interpreter
+        self.summaries: dict[str, FunctionSummary] = {}
+        self._scope = set(functions) if functions is not None else set(graph.functions)
+        for qname in self._scope:
+            info = graph.functions[qname]
+            self.summaries[qname] = FunctionSummary(
+                params={p: lattice.bottom for p in info.params}, ret=lattice.bottom
+            )
+
+    def summary_for(self, qname: str) -> FunctionSummary | None:
+        return self.summaries.get(qname)
+
+    def observe_call(self, callee: str, args: dict[str, str]) -> bool:
+        """Join observed argument values into the callee's context.
+
+        Returns True when the context climbed (the callee must be re-run).
+        """
+        summary = self.summaries.get(callee)
+        if summary is None:
+            return False
+        changed = False
+        for name, val in args.items():
+            if name not in summary.params:
+                continue
+            joined = self.lattice.join(summary.params[name], val)
+            if joined != summary.params[name]:
+                summary.params[name] = joined
+                changed = True
+        return changed
+
+    def solve(self) -> None:
+        """Run the worklist to fixpoint."""
+        work = list(self._scope)
+        queued = set(work)
+        passes = 0
+        while work:
+            passes += 1
+            if passes > self.MAX_PASSES:
+                raise RuntimeError(
+                    "dataflow fixpoint did not converge -- non-monotone transfer?"
+                )
+            qname = work.pop()
+            queued.discard(qname)
+            info = self.graph.functions[qname]
+            interp = self.make_interpreter(self)
+            summary = self.summaries[qname]
+            before = summary.ret
+            changed_callees = self._run_one(interp, info, summary)
+            for callee in changed_callees:
+                if callee in self._scope and callee not in queued:
+                    work.append(callee)
+                    queued.add(callee)
+            if summary.ret != before:
+                for caller in self.graph.callers_of(qname):
+                    if caller in self._scope and caller not in queued:
+                        work.append(caller)
+                        queued.add(caller)
+
+    def _run_one(
+        self, interp: AbstractInterpreter, info: "FunctionInfo", summary: FunctionSummary
+    ) -> set[str]:
+        """Interpret one function; returns callees whose context climbed."""
+        changed: set[str] = set()
+        solver = self
+        interp.site_callees = {
+            id(s.node): s.callee for s in self.graph.callees_of(info.qname)
+        }
+
+        original_on_call = interp.on_call
+
+        def on_call(node, chain, args, env):  # noqa: ANN001 - hook signature
+            callee = interp.callee_of(node)
+            if callee is not None:
+                callee_info = solver.graph.function(callee)
+                if callee_info is not None:
+                    bound = _bind_args(callee_info, node, args)
+                    if solver.observe_call(callee, bound):
+                        changed.add(callee)
+            original_on_call(node, chain, args, env)
+
+        interp.on_call = on_call  # type: ignore[method-assign]
+        _, ret = interp.run_function(info.node, dict(summary.params))
+        summary.ret = self.lattice.join(summary.ret, ret)
+        return changed
+
+
+def _bind_args(
+    info: "FunctionInfo", node: ast.Call, args: list[str]
+) -> dict[str, str]:
+    """Positionally bind abstract argument values to the callee's params."""
+    params = info.params
+    offset = 1 if info.class_name is not None and params and params[0] == "self" else 0
+    bound: dict[str, str] = {}
+    for i, val in enumerate(args):
+        idx = i + offset
+        if idx < len(params):
+            bound[params[idx]] = val
+    return bound

@@ -19,7 +19,7 @@ from repro.statcheck.suppress import Suppressions, parse_suppressions
 if TYPE_CHECKING:  # pragma: no cover
     from repro.statcheck.rules.base import Rule
 
-__all__ = ["ModuleContext", "check_paths", "iter_python_files"]
+__all__ = ["ModuleContext", "check_paths", "check_project", "iter_python_files"]
 
 #: Directory names never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
@@ -50,6 +50,15 @@ class ModuleContext:
             rel = path.resolve().relative_to((root or Path.cwd()).resolve())
         except ValueError:
             rel = path
+        suppressions = parse_suppressions(source.splitlines())
+        # A suppression written on (or immediately above) a decorator line
+        # must cover the decorated statement: findings on a decorated
+        # ``def`` are reported at the ``def`` line, not the ``@`` line.
+        for node in ast.walk(tree):
+            decorators = getattr(node, "decorator_list", None)
+            if decorators:
+                for line in range(decorators[0].lineno, node.lineno):
+                    suppressions.forward(line, node.lineno)
         return cls(
             path=path,
             relpath=rel.as_posix(),
@@ -57,7 +66,7 @@ class ModuleContext:
             source=source,
             lines=source.splitlines(),
             tree=tree,
-            suppressions=parse_suppressions(source.splitlines()),
+            suppressions=suppressions,
             parents=parents,
         )
 
@@ -130,27 +139,46 @@ def check_paths(
     rules: Iterable["Rule"],
     root: Path | None = None,
 ) -> tuple[list[Finding], list[str]]:
-    """Run ``rules`` over every Python file under ``paths``.
+    """Run per-module ``rules`` over every Python file under ``paths``.
 
     Returns ``(findings, errors)``: findings sorted by location, and a list
     of human-readable messages for files that failed to parse (a syntax
     error in checked code is reported, not raised -- the linter must not
     die on the code it lints).
     """
+    return check_project(paths, rules, analyzers=(), root=root)
+
+
+def check_project(
+    paths: Iterable[Path],
+    rules: Iterable["Rule"] = (),
+    analyzers: Iterable = (),
+    root: Path | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Run per-module rules and project-wide analyzers over ``paths``.
+
+    The project (all parsed modules + call graph) is loaded once and
+    shared by every analyzer.  Analyzer findings pass through the same
+    per-module suppression tables as rule findings, so one suppression
+    grammar covers both layers.
+    """
+    from repro.statcheck.callgraph import Project
+
     rules = list(rules)
+    analyzers = list(analyzers)
+    project = Project.load(list(paths), root=root)
     findings: list[Finding] = []
-    errors: list[str] = []
-    for path in iter_python_files(paths):
-        try:
-            ctx = ModuleContext.from_path(path, root=root)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            errors.append(f"{path}: {type(exc).__name__}: {exc}")
-            continue
+    for ctx in project.modules:
         for rule in rules:
             if not rule.applies(ctx):
                 continue
             for f in rule.check(ctx):
                 if not ctx.suppressions.is_suppressed(f.line, f.rule):
                     findings.append(f)
+    for analyzer in analyzers:
+        for f in analyzer.check(project):
+            ctx = project.module_by_relpath(f.path)
+            if ctx is None or not ctx.suppressions.is_suppressed(f.line, f.rule):
+                findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, errors
+    return findings, list(project.errors)

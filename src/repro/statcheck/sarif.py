@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 export for statcheck findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file produced here annotates the exact
+lines on a PR.  The mapping is deliberately small:
+
+* one ``run`` with one ``tool.driver`` listing every rule/analyzer as a
+  ``reportingDescriptor``;
+* one ``result`` per finding, with the statcheck fingerprint carried in
+  ``partialFingerprints`` (key ``statcheckFingerprint/v1``) so GitHub's
+  alert deduplication matches the baseline's identity notion;
+* ``baselineState`` distinguishes ``new`` findings from ``unchanged``
+  (baselined) ones, mirroring the CLI's gate semantics.
+
+Severities map INFO -> ``note``, WARNING -> ``warning``, ERROR ->
+``error``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.statcheck.finding import Finding, Severity
+
+__all__ = ["to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_FINGERPRINT_KEY = "statcheckFingerprint/v1"
+
+_LEVELS = {Severity.INFO: "note", Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _descriptor(name: str, description: str, severity: Severity) -> dict:
+    return {
+        "id": name,
+        "name": name,
+        "shortDescription": {"text": description or name},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+    }
+
+
+def _result(finding: Finding, baseline_state: str, rule_index: dict[str, int]) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {_FINGERPRINT_KEY: finding.fingerprint},
+        "baselineState": baseline_state,
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def to_sarif(
+    new: list[Finding],
+    baselined: list[Finding],
+    checks: Iterable = (),
+) -> dict:
+    """Build the SARIF log object (serialize with ``json.dump``).
+
+    ``checks`` is the list of rule/analyzer classes or instances that ran
+    (anything with ``name``/``description``/``severity`` attributes);
+    they become the driver's rule descriptors.
+    """
+    descriptors = []
+    rule_index: dict[str, int] = {}
+    for check in checks:
+        name = getattr(check, "name", "")
+        if not name or name in rule_index:
+            continue
+        rule_index[name] = len(descriptors)
+        descriptors.append(
+            _descriptor(name, getattr(check, "description", ""), check.severity)
+        )
+    results = [_result(f, "new", rule_index) for f in new]
+    results += [_result(f, "unchanged", rule_index) for f in baselined]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.statcheck",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }

@@ -48,6 +48,16 @@ class Suppressions:
         rules = self._by_line[line]
         return rules is None or rule in rules
 
+    def forward(self, src: int, dst: int) -> None:
+        """Make the suppression at ``src`` (if any) also cover ``dst``.
+
+        Used by the engine to attach suppressions written on decorator
+        lines to the decorated ``def``/``class`` statement, where rules
+        actually report their findings.
+        """
+        if src in self._by_line and src != dst:
+            self.add(dst, self._by_line[src])
+
     def __len__(self) -> int:
         return len(self._by_line)
 

@@ -1,0 +1,96 @@
+"""Fixture: collective-ordering cases (positive, negative, suppression).
+
+Each function is one self-contained case; the test asserts the exact
+finding lines, so keep the layout stable.  ``comm`` is duck-typed -- the
+analyzer keys on method names, not types.
+"""
+
+
+# -- positive: collectives under rank-dependent conditionals --------------
+
+def rank_conditional_collective(comm, rank):
+    if rank == 0:
+        comm.allreduce(1.0)  # line 13: only rank 0 enters
+
+
+def rank_attr_conditional(comm):
+    if comm.rank == 0:
+        comm.bcast(1)  # line 18: rank read off the communicator
+
+
+# -- positive: divergent orderings across branches ------------------------
+
+def divergent_branches(comm, fast, x):
+    if fast:  # line 24: allreduce;barrier vs barrier;allreduce
+        comm.allreduce(x)
+        comm.barrier()
+    else:
+        comm.barrier()
+        comm.allreduce(x)
+
+
+def _sum_then_sync(comm, x):
+    comm.allreduce(x)
+    comm.barrier()
+
+
+def interproc_divergent(comm, fast, x):
+    if fast:  # line 38: helper splices allreduce;barrier
+        _sum_then_sync(comm, x)
+    else:
+        comm.barrier()
+        comm.allreduce(x)
+
+
+# -- positive: unpaired point-to-point ------------------------------------
+
+def push_only(comm, n):  # line 47: 1 send, 0 recvs
+    comm.send(0, n)
+
+
+# -- suppression: flagged by the analyzer, filtered by the engine ---------
+
+def suppressed_rank_collective(comm, rank):
+    if rank == 0:
+        comm.barrier()  # statcheck: ignore[collective-ordering] -- fixture: suppression demo
+
+
+# -- negative: the ordinary healthy shapes --------------------------------
+
+def exchange_ring(comm, rank, x):
+    comm.send(rank + 1, x)
+    comm.recv(rank - 1)
+
+
+def consistent_branches(comm, use_tree, x):
+    if use_tree:
+        comm.allreduce(x)
+    else:
+        comm.allreduce(x)
+
+
+def interproc_consistent(comm, fast, x):
+    if fast:
+        _sum_then_sync(comm, x)
+    else:
+        comm.allreduce(x)
+        comm.barrier()
+
+
+def prefix_convergence_exit(comm, vals):
+    for v in vals:
+        r = comm.allreduce(v)
+        if r < 1.0:
+            break
+        comm.barrier()
+
+
+def raise_path_is_error_exit(comm, n):
+    if n < 0:
+        raise ValueError("bad size")
+    comm.allreduce(n)
+
+
+def nonrank_conditional(comm, ready):
+    if ready:
+        comm.barrier()

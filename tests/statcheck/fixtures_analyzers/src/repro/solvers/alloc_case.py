@@ -1,0 +1,113 @@
+"""Fixture: hot-loop-allocation cases (positive, negative, suppression).
+
+Each function is one self-contained case; the test asserts the exact
+finding lines, so keep the layout stable.  The module lives under
+``repro.solvers`` so every non-setup function is in the hot scope.
+"""
+
+import numpy as np
+
+
+# -- positive: direct allocators inside loops -----------------------------
+
+def alloc_in_loop(fields):
+    out = []
+    for f in fields:
+        buf = np.zeros(f.shape)  # line 16: fresh array per iteration
+        out.append(buf)
+    return out
+
+
+def copy_in_while(x, n):
+    y = x
+    i = 0
+    while i < n:
+        y = x.copy()  # line 25: method allocator per iteration
+        i += 1
+    return y
+
+
+def like_in_loop(fields):
+    acc = None
+    for f in fields:
+        t = np.empty_like(f)  # line 33: *_like allocator per iteration
+        t[...] = f
+        acc = t
+    return acc
+
+
+# -- positive: loop-carried recurrence rebind -----------------------------
+
+def recurrence_rebind(z, p, beta, iters):
+    for _ in range(iters):
+        p = z + beta * p  # line 43: reallocates p every iteration
+    return p
+
+
+# -- positive: interprocedural allocating callee (INFO) -------------------
+
+def _fresh(n):
+    return np.empty(n)
+
+
+def calls_allocator_in_loop(n, iters):
+    total = 0.0
+    for _ in range(iters):
+        w = _fresh(n)  # line 56: callee allocates (advisory)
+        total += float(w[0])
+    return total
+
+
+# -- suppression: flagged by the analyzer, filtered by the engine ---------
+
+def suppressed_alloc(fields):
+    out = []
+    for f in fields:
+        # statcheck: ignore[hot-loop-allocation] -- fixture: suppression demo
+        out.append(np.array(f, copy=True))
+    return out
+
+
+# -- negative: hoisted buffers, in-place updates, setup functions ---------
+
+def hoisted_scratch(fields, n):
+    buf = np.zeros(n)
+    for f in fields:
+        buf += f
+    return buf
+
+
+def recurrence_in_place(z, p, beta, iters):
+    for _ in range(iters):
+        p *= beta
+        p += z
+    return p
+
+
+def comprehension_builds_result(chunks):
+    return [c.copy() for c in chunks]
+
+
+def _scale(x, a):
+    x *= a
+    return x
+
+
+def calls_nonallocator_in_loop(x, iters):
+    for _ in range(iters):
+        x = _scale(x, 0.5)
+    return x
+
+
+class Workspace:
+    def __init__(self, shapes):
+        self.bufs = []
+        for s in shapes:
+            self.bufs.append(np.zeros(s))
+
+
+def build_operators(shapes):
+    ops = []
+    for s in shapes:
+        ops.append(np.empty(s))
+    return ops

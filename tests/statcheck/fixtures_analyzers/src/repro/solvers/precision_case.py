@@ -1,0 +1,94 @@
+"""Fixture: precision-flow cases (positive, negative, suppression).
+
+Each function is one self-contained case; the test asserts the exact
+finding lines, so keep the layout stable.  ``IterationGuard`` is only
+referenced lexically -- the analyzer never imports fixture modules.
+"""
+
+import numpy as np
+
+
+# -- positive: float64 narrowed outside a guard-managed region ------------
+
+def narrow_plain(n):
+    r = np.zeros(n)
+    return r.astype(np.float32)  # line 15: f64 -> f32, unguarded
+
+
+def narrow_scalar_cast(n):
+    x = np.ones(n)
+    return np.float32(x)  # line 20: constructor cast narrows f64
+
+
+def narrow_string_dtype(n):
+    q = np.ones(n)
+    return q.astype("float32")  # line 25: string dtype spelling
+
+
+def narrow_mixed(n):
+    m = np.zeros(n) + np.zeros(n, dtype=np.float32)  # join -> mixed
+    return m.astype("f4")  # line 30: possibly-f64 narrowed
+
+
+# -- positive: float32 into an accumulation -------------------------------
+
+def dot_of_f32(n):
+    s = np.zeros(n, dtype=np.float32)
+    return np.dot(s, s)  # line 37: f32 inner product
+
+
+def sum_method_of_f32(n):
+    s = np.full(n, 1.0, dtype="float32")
+    return s.sum()  # line 42: f32 reduction via method
+
+
+def _make_f32(n):
+    return np.zeros(n, dtype=np.float32)
+
+
+def norm_of_callee_f32(n):
+    return np.linalg.norm(_make_f32(n))  # line 50: f32 via function summary
+
+
+# -- suppression: flagged by the analyzer, filtered by the engine ---------
+
+def narrow_suppressed(n):
+    h = np.zeros(n)
+    return h.astype(np.float32)  # statcheck: ignore[precision-flow] -- fixture: suppression demo
+
+
+# -- negative: guard-managed narrowing is the sanctioned fast path --------
+
+def narrow_guarded(n):
+    guard = IterationGuard(band=0.2)  # noqa: F821 -- lexical guard marker
+    w = np.zeros(n)
+    w32 = w.astype(np.float32)
+    guard.observe(1)
+    return w32
+
+
+class GuardedSmoother:
+    def __init__(self):
+        self.guard = IterationGuard()  # noqa: F821 -- lexical guard marker
+
+    def narrow_in_method(self, n):
+        if self.guard.tripped:
+            return np.zeros(n)
+        w = np.ones(n)
+        return w.astype(np.float32)
+
+
+# -- negative: widening, unknown inputs, float64 accumulations ------------
+
+def widen_is_fine(n):
+    s = np.zeros(n, dtype=np.float32)
+    return s.astype(np.float64)
+
+
+def narrow_unknown_param(field):
+    return field.astype(np.float32)  # dtype of ``field`` is unknown
+
+
+def dot_of_f64(n):
+    r = np.zeros(n)
+    return np.dot(r, r)

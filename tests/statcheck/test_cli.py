@@ -7,6 +7,7 @@ from pathlib import Path
 from repro.statcheck.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURES_A = Path(__file__).parent / "fixtures_analyzers"
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
@@ -58,6 +59,47 @@ class TestExitCodes:
         assert main([str(FIXTURES), "--select", "bogus"]) == 2
 
 
+class TestAnalysisFlag:
+    def test_analyzers_off_by_default(self, capsys):
+        # The analyzer fixture tree is rule-clean: without --analysis the
+        # run passes and finds nothing.
+        assert main([str(FIXTURES_A)]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_analysis_all_runs_every_analyzer(self, capsys):
+        assert main([str(FIXTURES_A), "--analysis", "all"]) == 1
+        out = capsys.readouterr().out
+        for name in ("precision-flow", "collective-ordering", "hot-loop-allocation"):
+            assert f"[{name}]" in out
+
+    def test_single_analyzer_selection(self, capsys):
+        assert main([str(FIXTURES_A), "--analysis", "precision"]) == 1
+        out = capsys.readouterr().out
+        assert "[precision-flow]" in out
+        assert "[collective-ordering]" not in out
+        assert "[hot-loop-allocation]" not in out
+
+    def test_analysis_is_repeatable(self, capsys):
+        assert main(
+            [str(FIXTURES_A), "--analysis", "precision", "--analysis", "collectives"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "[precision-flow]" in out
+        assert "[collective-ordering]" in out
+        assert "[hot-loop-allocation]" not in out
+
+    def test_analyzer_findings_respect_the_baseline_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(FIXTURES_A), "--analysis", "all", "--baseline", str(baseline),
+             "--write-baseline"]
+        ) == 0
+        assert main(
+            [str(FIXTURES_A), "--analysis", "all", "--baseline", str(baseline)]
+        ) == 0
+        assert "0 new" in capsys.readouterr().out
+
+
 class TestOutput:
     def test_json_format(self, capsys):
         assert main([str(FIXTURES), "--format", "json"]) == 1
@@ -78,6 +120,12 @@ class TestOutput:
             "api-hygiene",
         ):
             assert rule in out
+
+    def test_list_rules_includes_analyzers(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("precision-flow", "collective-ordering", "hot-loop-allocation"):
+            assert name in out
 
     def test_stale_note_printed(self, tmp_path, capsys):
         tree = tmp_path / "tree"
@@ -108,3 +156,13 @@ class TestMeta:
     def test_statcheck_package_is_clean_without_baseline(self):
         # The linter holds itself to its own rules, no baseline needed.
         assert main([str(REPO_ROOT / "src" / "repro" / "statcheck")]) == 0
+
+    def test_src_tree_is_gate_clean_under_full_analysis(self, capsys, monkeypatch):
+        # The acceptance criterion: rules AND all three interprocedural
+        # analyzers pass on HEAD with the committed (empty) baseline.
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = REPO_ROOT / "statcheck_baseline.json"
+        assert main(
+            ["src", "--analysis", "all", "--baseline", str(baseline)]
+        ) == 0
+        assert "0 new" in capsys.readouterr().out

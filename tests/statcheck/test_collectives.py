@@ -1,0 +1,88 @@
+"""collective-ordering analyzer behaviour, driven by the committed fixture."""
+
+from pathlib import Path
+
+from repro.statcheck import check_project
+from repro.statcheck.analyzers.collectives import CollectiveOrderingAnalyzer
+from repro.statcheck.callgraph import Project
+from repro.statcheck.finding import Severity
+
+FIXTURE = (
+    Path(__file__).parent
+    / "fixtures_analyzers/src/repro/comm/collective_case.py"
+)
+
+
+def _findings():
+    project = Project.load([FIXTURE], root=FIXTURE.parents[3])
+    return sorted(CollectiveOrderingAnalyzer().check(project), key=lambda f: f.line)
+
+
+class TestRankConditionals:
+    def test_collectives_under_rank_tests_are_errors(self):
+        by_line = {f.line: f for f in _findings()}
+        for line, name in ((13, "allreduce"), (18, "bcast"), (55, "barrier")):
+            f = by_line[line]
+            assert f.severity == Severity.ERROR
+            assert f"collective '{name}'" in f.message
+
+    def test_p2p_under_rank_tests_is_the_normal_idiom(self):
+        # exchange_ring sends/recvs based on rank arithmetic: no finding.
+        lines = [f.line for f in _findings()]
+        assert not any(59 <= line <= 63 for line in lines)
+
+
+class TestBranchDivergence:
+    def test_swapped_orderings_are_flagged(self):
+        by_line = {f.line: f for f in _findings()}
+        assert "diverge across these branches" in by_line[24].message
+        assert by_line[24].severity == Severity.WARNING
+
+    def test_divergence_through_a_callee_is_flagged(self):
+        # interproc_divergent: one branch reaches allreduce;barrier through
+        # a helper, the other issues barrier;allreduce directly.
+        by_line = {f.line: f for f in _findings()}
+        assert "diverge across these branches" in by_line[38].message
+
+    def test_consistent_and_prefix_shapes_are_silent(self):
+        # consistent_branches, interproc_consistent, the convergence-exit
+        # loop, the raise path and the non-rank conditional: all clean.
+        lines = [f.line for f in _findings()]
+        assert not any(line >= 59 for line in lines)
+
+
+class TestP2pPairing:
+    def test_unbalanced_path_is_flagged_at_the_def(self):
+        by_line = {f.line: f for f in _findings()}
+        f = by_line[47]
+        assert "1 send(s) but 0 recv(s)" in f.message
+        assert f.severity == Severity.WARNING
+
+    def test_exact_finding_set(self):
+        assert [f.line for f in _findings()] == [13, 18, 24, 38, 47, 55]
+
+
+class TestEngineIntegration:
+    def test_suppression_filters_the_annotated_line(self):
+        findings, errors = check_project(
+            [FIXTURE],
+            analyzers=[CollectiveOrderingAnalyzer()],
+            root=FIXTURE.parents[3],
+        )
+        assert errors == []
+        lines = [f.line for f in findings]
+        assert 55 not in lines  # trailing ignore[collective-ordering]
+        assert lines == [13, 18, 24, 38, 47]
+
+
+class TestScope:
+    def test_only_comm_package_is_scanned(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "solvers" / "chatty.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "def f(comm, rank):\n"
+            "    if rank == 0:\n"
+            "        comm.allreduce(1.0)\n"
+        )
+        project = Project.load([tmp_path / "src"], root=tmp_path)
+        assert list(CollectiveOrderingAnalyzer().check(project)) == []

@@ -1,0 +1,205 @@
+"""The dataflow framework: lattice laws, interpreter joins, fixpoint solving."""
+
+import ast
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.statcheck.analyzers.precision import (
+    DtypeInterpreter,
+    PrecisionFlowAnalyzer,
+    make_dtype_lattice,
+)
+from repro.statcheck.callgraph import Project
+from repro.statcheck.dataflow import FlatLattice
+
+LATTICE = make_dtype_lattice()
+ELEMENTS = st.sampled_from(["unknown", "f32", "f64", "mixed"])
+
+
+class TestLatticeLaws:
+    """Join-semilattice laws, property-tested over every element pair."""
+
+    @given(a=ELEMENTS, b=ELEMENTS)
+    def test_join_commutative(self, a, b):
+        assert LATTICE.join(a, b) == LATTICE.join(b, a)
+
+    @given(a=ELEMENTS, b=ELEMENTS, c=ELEMENTS)
+    def test_join_associative(self, a, b, c):
+        assert LATTICE.join(LATTICE.join(a, b), c) == LATTICE.join(a, LATTICE.join(b, c))
+
+    @given(a=ELEMENTS)
+    def test_join_idempotent(self, a):
+        assert LATTICE.join(a, a) == a
+
+    @given(a=ELEMENTS)
+    def test_bottom_is_identity_top_absorbs(self, a):
+        assert LATTICE.join("unknown", a) == a
+        assert LATTICE.join("mixed", a) == "mixed"
+
+    @given(a=ELEMENTS, b=ELEMENTS)
+    def test_leq_is_join_consistency(self, a, b):
+        # a <= b exactly when joining adds nothing: the defining property
+        # connecting the order to the join.
+        assert LATTICE.leq(a, b) == (LATTICE.join(a, b) == b)
+
+    @given(a=ELEMENTS, b=ELEMENTS)
+    def test_join_is_upper_bound(self, a, b):
+        j = LATTICE.join(a, b)
+        assert LATTICE.leq(a, j) and LATTICE.leq(b, j)
+
+    @given(xs=st.lists(ELEMENTS, min_size=1, max_size=6))
+    def test_join_all_matches_pairwise_fold(self, xs):
+        folded = xs[0]
+        for x in xs[1:]:
+            folded = LATTICE.join(folded, x)
+        assert LATTICE.join_all(xs) == folded
+
+    def test_distinct_atoms_join_to_top(self):
+        assert LATTICE.join("f32", "f64") == "mixed"
+
+    def test_unknown_atom_rejected(self):
+        lat = FlatLattice(atoms=("a",), bottom="bot", top="top")
+        try:
+            lat.join("a", "nonsense")
+        except (KeyError, ValueError):
+            pass
+        else:
+            raise AssertionError("expected invalid element to be rejected")
+
+
+def _run(src: str, func: str = "f", params: dict | None = None):
+    tree = ast.parse(src)
+    node = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef) and n.name == func
+    )
+    interp = DtypeInterpreter(LATTICE)
+    return interp.run_function(node, params or {})
+
+
+class TestInterpreter:
+    def test_straightline_assignment(self):
+        env, ret = _run(
+            "def f(n):\n"
+            "    x = np.zeros(n)\n"
+            "    y = x\n"
+            "    return y\n"
+        )
+        assert env["x"] == "f64" and env["y"] == "f64"
+        assert ret == "f64"
+
+    def test_branches_join(self):
+        env, ret = _run(
+            "def f(flag, n):\n"
+            "    if flag:\n"
+            "        x = np.zeros(n)\n"
+            "    else:\n"
+            "        x = np.zeros(n, dtype=np.float32)\n"
+            "    return x\n"
+        )
+        assert env["x"] == "mixed"
+        assert ret == "mixed"
+
+    def test_loop_reaches_fixpoint(self):
+        # The loop body narrows once; re-interpretation must converge (the
+        # lattice has height 3) and the loop-carried join must hold.
+        env, ret = _run(
+            "def f(n, it):\n"
+            "    x = np.zeros(n)\n"
+            "    for _ in it:\n"
+            "        x = x.astype(np.float32)\n"
+            "    return x\n"
+        )
+        assert env["x"] == "mixed"  # f64 on entry joined with f32 in the loop
+        assert ret == "mixed"
+
+    def test_python_scalars_are_dtype_neutral(self):
+        # NEP 50 weak promotion: 0.1 * f32_field stays f32.
+        env, _ = _run(
+            "def f(n):\n"
+            "    s = np.zeros(n, dtype='float32')\n"
+            "    y = 0.1 * s\n"
+            "    return y\n"
+        )
+        assert env["y"] == "f32"
+
+    def test_parameters_seed_the_environment(self):
+        env, ret = _run(
+            "def f(r):\n"
+            "    return r.copy()\n",
+            params={"r": "f32"},
+        )
+        assert ret == "f32"
+
+    def test_augassign_joins(self):
+        env, _ = _run(
+            "def f(n):\n"
+            "    x = np.zeros(n)\n"
+            "    x += np.zeros(n, dtype=np.float32)\n"
+            "    return x\n"
+        )
+        assert env["x"] == "mixed"
+
+
+class TestFixpointSolver:
+    """Interprocedural summaries terminate on cyclic call graphs."""
+
+    def _project(self, tmp_path, source: str) -> Project:
+        path = tmp_path / "src" / "repro" / "solvers" / "cyclic_case.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(source)
+        return Project.load([tmp_path / "src"], root=tmp_path)
+
+    def test_mutual_recursion_terminates(self, tmp_path):
+        project = self._project(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "def ping(x, depth):\n"
+            "    if depth == 0:\n"
+            "        return np.zeros(4)\n"
+            "    return pong(x, depth - 1)\n"
+            "\n"
+            "def pong(x, depth):\n"
+            "    return ping(x, depth)\n",
+        )
+        findings = list(PrecisionFlowAnalyzer().check(project))
+        assert findings == []  # nothing narrows; the point is termination
+
+    def test_recursive_narrowing_is_still_reported(self, tmp_path):
+        project = self._project(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "def descend(depth):\n"
+            "    r = np.ones(4)\n"
+            "    if depth == 0:\n"
+            "        return r.astype(np.float32)\n"
+            "    return descend(depth - 1)\n",
+        )
+        findings = list(PrecisionFlowAnalyzer().check(project))
+        assert [f.line for f in findings] == [6]
+        assert "narrowed to float32" in findings[0].message
+
+    def test_summary_flows_through_a_cycle(self, tmp_path):
+        # The f32 return of the recursive pair must reach the accumulation
+        # in the separate caller: the solver has to iterate to fixpoint.
+        project = self._project(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "def alpha(depth):\n"
+            "    if depth == 0:\n"
+            "        return np.zeros(4, dtype=np.float32)\n"
+            "    return beta(depth - 1)\n"
+            "\n"
+            "def beta(depth):\n"
+            "    return alpha(depth)\n"
+            "\n"
+            "def consume(depth):\n"
+            "    return np.dot(alpha(depth), alpha(depth))\n",
+        )
+        findings = list(PrecisionFlowAnalyzer().check(project))
+        assert len(findings) == 1
+        assert findings[0].line == 12
+        assert "'dot' accumulation" in findings[0].message

@@ -1,0 +1,84 @@
+"""precision-flow analyzer behaviour, driven by the committed fixture."""
+
+from pathlib import Path
+
+from repro.statcheck import check_project
+from repro.statcheck.analyzers.precision import PrecisionFlowAnalyzer
+from repro.statcheck.callgraph import Project
+from repro.statcheck.finding import Severity
+
+FIXTURE = (
+    Path(__file__).parent
+    / "fixtures_analyzers/src/repro/solvers/precision_case.py"
+)
+
+
+def _findings():
+    project = Project.load([FIXTURE], root=FIXTURE.parents[3])
+    return sorted(PrecisionFlowAnalyzer().check(project), key=lambda f: f.line)
+
+
+class TestNarrowing:
+    def test_unguarded_narrowings_are_flagged(self):
+        lines = [f.line for f in _findings()]
+        # astype(np.float32), np.float32(x), astype("float32"), astype("f4")
+        # on a mixed value, and the suppression-demo narrowing (suppression
+        # is the engine's job, not the analyzer's).
+        for line in (15, 20, 25, 30, 57):
+            assert line in lines
+
+    def test_mixed_narrowing_message_is_hedged(self):
+        by_line = {f.line: f for f in _findings()}
+        assert "possibly-float64" in by_line[30].message
+        assert "possibly-float64" not in by_line[15].message
+
+    def test_guarded_narrowings_are_silent(self):
+        # narrow_guarded (lines 62-67) and GuardedSmoother.narrow_in_method
+        # (lines 74-78) both narrow f64 but reference the guard.
+        lines = [f.line for f in _findings()]
+        assert not any(60 <= line <= 80 for line in lines)
+
+    def test_widening_and_unknown_inputs_are_silent(self):
+        lines = [f.line for f in _findings()]
+        assert not any(line >= 83 for line in lines)
+
+
+class TestAccumulations:
+    def test_f32_accumulations_are_flagged(self):
+        by_line = {f.line: f for f in _findings()}
+        assert "'dot' accumulation" in by_line[37].message
+        assert "'sum' accumulation" in by_line[42].message
+        assert "'norm' accumulation" in by_line[50].message  # via call summary
+
+    def test_severity_and_rule(self):
+        for f in _findings():
+            assert f.rule == "precision-flow"
+            assert f.severity == Severity.WARNING
+
+    def test_exact_finding_set(self):
+        assert [f.line for f in _findings()] == [15, 20, 25, 30, 37, 42, 50, 57]
+
+
+class TestEngineIntegration:
+    def test_suppression_filters_the_annotated_line(self):
+        findings, errors = check_project(
+            [FIXTURE], analyzers=[PrecisionFlowAnalyzer()], root=FIXTURE.parents[3]
+        )
+        assert errors == []
+        lines = [f.line for f in findings]
+        assert 57 not in lines  # trailing ignore[precision-flow]
+        assert lines == [15, 20, 25, 30, 37, 42, 50]
+
+
+class TestScope:
+    def test_out_of_scope_packages_are_ignored(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "observability" / "narrow.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "import numpy as np\n"
+            "\n"
+            "def narrow(n):\n"
+            "    return np.zeros(n).astype(np.float32)\n"
+        )
+        project = Project.load([tmp_path / "src"], root=tmp_path)
+        assert list(PrecisionFlowAnalyzer().check(project)) == []

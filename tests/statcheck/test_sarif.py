@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 export: structure, levels, fingerprints, baseline states."""
+
+import json
+from pathlib import Path
+
+from repro.statcheck import get_rules, to_sarif
+from repro.statcheck.analyzers import ALL_ANALYZERS
+from repro.statcheck.cli import main
+from repro.statcheck.finding import Finding, Severity
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURES_A = Path(__file__).parent / "fixtures_analyzers"
+
+
+def _finding(rule="backend-purity", severity=Severity.WARNING, line=7):
+    return Finding(
+        rule=rule,
+        path="src/repro/sem/x.py",
+        line=line,
+        col=4,
+        message="test message",
+        severity=severity,
+        source_line="        y = np.exp(x)",
+    )
+
+
+class TestStructure:
+    def test_log_shape_and_driver(self):
+        log = to_sarif([_finding()], [], checks=get_rules(None))
+        assert log["version"] == "2.1.0"
+        assert "sarif-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.statcheck"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "backend-purity" in rule_ids
+
+    def test_analyzers_appear_as_rule_descriptors(self):
+        checks = list(get_rules(None)) + [cls() for cls in ALL_ANALYZERS.values()]
+        log = to_sarif([], [], checks=checks)
+        rule_ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        for name in ("precision-flow", "collective-ordering", "hot-loop-allocation"):
+            assert name in rule_ids
+
+    def test_result_location_and_fingerprint(self):
+        f = _finding()
+        log = to_sarif([f], [], checks=get_rules(None))
+        (result,) = log["runs"][0]["results"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/sem/x.py"
+        assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert loc["region"] == {"startLine": 7, "startColumn": 5}  # 1-based col
+        assert result["partialFingerprints"] == {
+            "statcheckFingerprint/v1": f.fingerprint
+        }
+
+    def test_severity_levels_map(self):
+        log = to_sarif(
+            [
+                _finding(severity=Severity.INFO, line=1),
+                _finding(severity=Severity.WARNING, line=2),
+                _finding(severity=Severity.ERROR, line=3),
+            ],
+            [],
+        )
+        levels = [r["level"] for r in log["runs"][0]["results"]]
+        assert levels == ["note", "warning", "error"]
+
+    def test_baseline_states(self):
+        log = to_sarif([_finding(line=1)], [_finding(line=2)])
+        states = [r["baselineState"] for r in log["runs"][0]["results"]]
+        assert states == ["new", "unchanged"]
+
+
+class TestCli:
+    def test_sarif_output_is_valid_json(self, capsys):
+        assert main([str(FIXTURES), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        results = log["runs"][0]["results"]
+        assert len(results) == 13  # the fixture tree's rule findings
+        assert all(r["baselineState"] == "new" for r in results)
+
+    def test_sarif_respects_baseline_states(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(FIXTURES), "--baseline", str(baseline), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(
+            [str(FIXTURES), "--baseline", str(baseline), "--format", "sarif"]
+        ) == 0
+        log = json.loads(capsys.readouterr().out)
+        states = {r["baselineState"] for r in log["runs"][0]["results"]}
+        assert states == {"unchanged"}
+
+    def test_sarif_includes_analyzer_results(self, capsys):
+        assert main([str(FIXTURES_A), "--analysis", "all", "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        rules_hit = {r["ruleId"] for r in log["runs"][0]["results"]}
+        assert {
+            "precision-flow",
+            "collective-ordering",
+            "hot-loop-allocation",
+        } <= rules_hit

@@ -71,3 +71,68 @@ class TestEngineIntegration:
         # The determinism finding survives its mis-scoped ignore; the
         # backend-purity finding on the np.sum line is suppressed.
         assert rules == ["determinism"]
+
+
+class TestDecoratorForwarding:
+    """A suppression on a decorator line must cover the decorated def:
+    findings (mutable defaults, shadowed params, ...) are reported at the
+    ``def`` line, not the ``@`` line the author annotated."""
+
+    def test_forward_copies_the_entry(self):
+        sup = parse_suppressions(
+            ["@cached  # statcheck: ignore[api-hygiene] -- registry pattern"]
+        )
+        assert sup.is_suppressed(1, "api-hygiene")
+        assert not sup.is_suppressed(3, "api-hygiene")
+        sup.forward(1, 3)
+        assert sup.is_suppressed(3, "api-hygiene")
+        # Forwarding from a line with no suppression is a no-op.
+        sup.forward(2, 5)
+        assert not sup.is_suppressed(5, "api-hygiene")
+
+    def test_ignore_on_decorator_line_suppresses_the_def(self, tmp_path):
+        mod = tmp_path / "deco.py"
+        mod.write_text(
+            "@register  # statcheck: ignore[api-hygiene] -- fixture: intentional\n"
+            "def f(history=[]):\n"
+            "    return history\n"
+        )
+        findings, errors = check_paths([mod], get_rules(["api-hygiene"]))
+        assert errors == []
+        assert findings == []
+
+    def test_multiline_decorator_stack_is_covered(self, tmp_path):
+        # The ignore sits on the *first* decorator; the def follows several
+        # lines later.  Every line between the first decorator and the def
+        # forwards, so stacked decorators behave like a single one.
+        mod = tmp_path / "deco_stack.py"
+        mod.write_text(
+            "@outer  # statcheck: ignore[api-hygiene] -- fixture: intentional\n"
+            "@inner(\n"
+            "    option=1,\n"
+            ")\n"
+            "def f(history=[]):\n"
+            "    return history\n"
+        )
+        findings, errors = check_paths([mod], get_rules(["api-hygiene"]))
+        assert errors == []
+        assert findings == []
+
+    def test_undecorated_def_is_still_reported(self, tmp_path):
+        mod = tmp_path / "plain.py"
+        mod.write_text(
+            "def f(history=[]):\n"
+            "    return history\n"
+        )
+        findings, _ = check_paths([mod], get_rules(["api-hygiene"]))
+        assert [f.line for f in findings] == [1]
+
+    def test_decorator_without_ignore_does_not_suppress(self, tmp_path):
+        mod = tmp_path / "deco_plain.py"
+        mod.write_text(
+            "@register\n"
+            "def f(history=[]):\n"
+            "    return history\n"
+        )
+        findings, _ = check_paths([mod], get_rules(["api-hygiene"]))
+        assert [f.line for f in findings] == [2]
