@@ -29,16 +29,18 @@ __all__ = [
     "Comparison",
     "compare",
     "check_min_speedups",
+    "check_ledger_trends",
     "parse_min_speedups",
     "render_table",
     "main",
 ]
 
 #: Structural sub-keys the comparator refuses to lose.  ``calls`` and
-#: ``bytes`` carry the traffic accounting behind the bandwidth figures; a
-#: candidate that drops them from an entry the baseline measures has
-#: silently lost coverage even if its wall time looks fine.
-TRACKED_SUBKEYS = ("calls", "bytes")
+#: ``bytes`` carry the traffic accounting behind the bandwidth figures and
+#: ``memory`` the peak-RSS/allocation-delta footprint; a candidate that
+#: drops any of them from an entry the baseline measures has silently lost
+#: coverage even if its wall time looks fine.
+TRACKED_SUBKEYS = ("calls", "bytes", "memory")
 
 
 @dataclass
@@ -151,6 +153,42 @@ def check_min_speedups(
     return failures
 
 
+def check_ledger_trends(
+    candidate: dict, ledger_path: Path, window: int = 5, threshold: float = 0.3
+) -> list[str]:
+    """Gate the candidate against the campaign ledger's recent history.
+
+    The two-file diff above compares against *one* baseline run; the
+    ledger gate compares against the rolling median of the last ``window``
+    recorded runs, which is robust to a single noisy baseline.  For every
+    candidate entry whose name the ledger knows, the candidate's seconds
+    must stay within ``(1 + threshold)`` of that median.  Returns failure
+    messages (empty = pass).  A missing or too-short ledger series is not
+    a failure -- trend gating only engages once history exists.
+    """
+    from repro.observability.campaign import Ledger
+    from repro.observability.campaign.trend import median
+
+    ledger = Ledger(Path(ledger_path))
+    cand = candidate.get("results", {})
+    failures: list[str] = []
+    for name in sorted(cand):
+        seconds = cand[name].get("seconds")
+        if seconds is None:
+            continue
+        history = [v for _, v in ledger.series(name)][-window:]
+        if len(history) < 3:
+            continue
+        baseline = median(history)
+        if baseline > 0 and seconds > baseline * (1.0 + threshold):
+            failures.append(
+                f"{name}: {seconds * 1e3:.3f} ms is x{seconds / baseline:.3f} the "
+                f"rolling median of the last {len(history)} ledger runs "
+                f"({baseline * 1e3:.3f} ms)"
+            )
+    return failures
+
+
 def render_table(comparisons: list[Comparison], threshold: float) -> list[str]:
     """Aligned per-entry summary table, printed on success and failure alike.
 
@@ -207,6 +245,19 @@ def main(argv=None) -> int:
         "carrying legacy_seconds are gated on their own legacy/fast "
         "ratio, others against the baseline file",
     )
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        help="campaign ledger (JSONL); also gate the candidate against the "
+        "rolling median of recent ledger runs",
+    )
+    parser.add_argument(
+        "--trend-window",
+        type=int,
+        default=5,
+        help="number of recent ledger runs the trend gate medians over",
+    )
     args = parser.parse_args(argv)
     try:
         required = parse_min_speedups(args.min_speedup)
@@ -230,6 +281,15 @@ def main(argv=None) -> int:
     for msg in speedup_failures:
         print(f"SPEEDUP GATE: {msg}")
         failed = True
+    if args.ledger is not None:
+        trend_failures = check_ledger_trends(
+            candidate, args.ledger, window=args.trend_window, threshold=args.threshold
+        )
+        for msg in trend_failures:
+            print(f"TREND GATE: {msg}")
+            failed = True
+        if not trend_failures:
+            print(f"ledger trend gate satisfied ({args.ledger})")
     if failed:
         return 1
     if required:

@@ -27,9 +27,11 @@ import dataclasses
 import datetime
 import json
 import platform
+import resource
 import subprocess
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -59,7 +61,10 @@ __all__ = [
     "pressure_fastpath_benchmark",
     "world_step_benchmark",
     "noop_tracer_overhead",
+    "profiler_overhead",
+    "measure_memory",
     "write_tuning_artifacts",
+    "append_to_ledger",
     "run_harness",
     "main",
 ]
@@ -91,6 +96,31 @@ def environment() -> dict:
         "machine": platform.machine(),
         "processor": platform.processor(),
         "git_sha": git_sha,
+    }
+
+
+def measure_memory(fn) -> dict:
+    """Memory footprint of one ``fn()`` call: peak RSS plus allocation delta.
+
+    ``peak_rss_bytes`` is the process high-water mark (``ru_maxrss``) --
+    monotone across the whole run, so per-entry differences only show when
+    an entry *raises* the peak.  ``alloc_delta_bytes`` is the
+    tracemalloc-observed peak of Python-level allocations during the call,
+    which is the per-entry figure: a kernel that suddenly materializes an
+    extra field-sized temporary moves it even when the RSS peak does not.
+    Measured in a separate untimed call so tracemalloc's overhead never
+    touches the timing loops.
+    """
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+        "alloc_delta_bytes": int(peak),
     }
 
 
@@ -147,6 +177,7 @@ def kernel_benchmarks(
             "seconds": seconds,
             "bytes": int(nbytes),
             "gbps": nbytes / seconds / 1e9,
+            "memory": measure_memory(fn),
         }
     return results
 
@@ -177,6 +208,47 @@ def noop_tracer_overhead(
         "bare_seconds": t_bare,
         "traced_seconds": t_traced,
         "overhead_fraction": max(0.0, t_traced / t_bare - 1.0),
+    }
+
+
+def profiler_overhead(
+    n_steps: int = 5,
+    warmup: int = 3,
+    n: tuple[int, int, int] = (3, 3, 3),
+    lx: int = 6,
+    repeats: int = 3,
+) -> dict:
+    """Overhead of the continuous profiler on the whole-step path.
+
+    The acceptance number for the profiling layer: attaching
+    :class:`~repro.observability.profile.profiler.ContinuousProfiler` to a
+    :class:`~repro.core.simulation.Simulation` must cost < 3 % per step.
+    The profiler only diffs ``RegionTimers`` totals and evaluates the
+    closed-form work model, so the cost is a handful of dict lookups and
+    float ops per step -- this measures it instead of asserting it.  The
+    bare and profiled legs are interleaved per repeat so slow drift of the
+    host (thermal, background load) cannot bias one leg.
+    """
+    from repro.observability.profile import ContinuousProfiler
+
+    def one_window(profiled: bool) -> float:
+        config = rbc_box_case(1e5, n=n, lx=lx, aspect=2.0, perturbation_amplitude=0.1)
+        profiler = ContinuousProfiler() if profiled else None
+        sim = Simulation(config, profiler=profiler)
+        sim.run(n_steps=warmup)
+        t0 = time.perf_counter()
+        sim.run(n_steps=n_steps)
+        return (time.perf_counter() - t0) / n_steps
+
+    t_bare = float("inf")
+    t_profiled = float("inf")
+    for _ in range(max(repeats, 1)):
+        t_bare = min(t_bare, one_window(False))
+        t_profiled = min(t_profiled, one_window(True))
+    return {
+        "bare_seconds": t_bare,
+        "profiled_seconds": t_profiled,
+        "overhead_fraction": max(0.0, t_profiled / t_bare - 1.0),
     }
 
 
@@ -254,6 +326,9 @@ def _step_benchmark_runs(
             "calls": gs.calls // n_steps,
             "bytes": gs.bytes_moved // n_steps,
         }
+        # Memory is measured last -- the extra instrumented step must not
+        # leak into the phase totals harvested above.
+        results["step"]["memory"] = measure_memory(sim.step)
         if best is None or results["step"]["seconds"] < best["step"]["seconds"]:
             best = results
     assert best is not None
@@ -351,6 +426,7 @@ def world_step_benchmark(
             "iterations": mon.iterations,
             "ranks": nranks,
             "p2p_messages_per_solve": messages,
+            "memory": measure_memory(lambda: solver.solve(b_chunks)),
         }
     }
 
@@ -383,11 +459,39 @@ def write_tuning_artifacts(
     return table_path, report_path
 
 
+def append_to_ledger(
+    ledger_path: Path, kernels_path: Path, step_path: Path, tuning_path: Path | None = None
+) -> str:
+    """Append one campaign-ledger run built from the bench artifacts.
+
+    Merges the kernel and step records into a single
+    :class:`~repro.observability.campaign.ledger.RunRecord` (the run id is
+    derived from the git sha + timestamp the harness already recorded in
+    the environment block -- the ledger itself never reads a clock) and
+    appends it to the JSONL ledger at ``ledger_path``.  Returns the run id.
+    """
+    from repro.observability.campaign import Ledger, RunRecord
+
+    kernels = json.loads(Path(kernels_path).read_text())
+    step = json.loads(Path(step_path).read_text())
+    tuning = None
+    if tuning_path is not None and Path(tuning_path).exists():
+        tuning = json.loads(Path(tuning_path).read_text())
+    record = RunRecord.from_bench(kernels, step, tuning=tuning)
+    Ledger(Path(ledger_path)).append(record)
+    return record.run_id
+
+
 def run_harness(
-    out_dir: Path, repeats: int = 5, n_steps: int = 5, warmup: int = 3
+    out_dir: Path,
+    repeats: int = 5,
+    n_steps: int = 5,
+    warmup: int = 3,
+    ledger: Path | None = None,
 ) -> tuple[Path, Path]:
     """Run both tiers and write ``BENCH_kernels.json`` / ``BENCH_step.json``
-    plus the ``tuning_table.json`` / ``cache_report.json`` artifacts."""
+    plus the ``tuning_table.json`` / ``cache_report.json`` artifacts.
+    With ``ledger`` set, the run is also appended to that campaign ledger."""
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     env = environment()
@@ -399,6 +503,13 @@ def run_harness(
         "environment": env,
         "results": kernel_benchmarks(repeats=repeats),
         "noop_tracer_overhead": noop_tracer_overhead(repeats=repeats),
+        # Longer windows than the step bench: the per-step profiler cost is
+        # tens of microseconds against a ~20 ms step, so the overhead
+        # figure is jitter-dominated unless each timed window spans enough
+        # steps to average the host's scheduling noise.
+        "profiler_overhead": profiler_overhead(
+            n_steps=max(2 * n_steps, 10), warmup=warmup, repeats=max(repeats, 3)
+        ),
     }
     kernels_path = out_dir / "BENCH_kernels.json"
     kernels_path.write_text(json.dumps(kernels, indent=2) + "\n")
@@ -415,7 +526,10 @@ def run_harness(
     step_path = out_dir / "BENCH_step.json"
     step_path.write_text(json.dumps(step, indent=2) + "\n")
 
-    write_tuning_artifacts(out_dir)
+    tuning_path, _ = write_tuning_artifacts(out_dir)
+    if ledger is not None:
+        run_id = append_to_ledger(ledger, kernels_path, step_path, tuning_path)
+        print(f"appended run {run_id} to {ledger}")
     return kernels_path, step_path
 
 
@@ -425,10 +539,18 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5, help="best-of repeats per kernel")
     parser.add_argument("--steps", type=int, default=5, help="measured steps for the step bench")
     parser.add_argument("--warmup", type=int, default=3, help="untimed warmup steps")
+    parser.add_argument(
+        "--ledger", default=None,
+        help="campaign ledger (JSONL) to append this run to",
+    )
     args = parser.parse_args(argv)
 
     kernels_path, step_path = run_harness(
-        Path(args.out_dir), repeats=args.repeats, n_steps=args.steps, warmup=args.warmup
+        Path(args.out_dir),
+        repeats=args.repeats,
+        n_steps=args.steps,
+        warmup=args.warmup,
+        ledger=Path(args.ledger) if args.ledger else None,
     )
     for path in (kernels_path, step_path):
         data = json.loads(path.read_text())
@@ -441,8 +563,11 @@ def main(argv=None) -> int:
             else:
                 extra = ""
             print(f"  {name:<18s} {rec['seconds'] * 1e3:9.3f} ms{extra}")
-    overhead = json.loads(kernels_path.read_text())["noop_tracer_overhead"]
+    kernels_data = json.loads(kernels_path.read_text())
+    overhead = kernels_data["noop_tracer_overhead"]
     print(f"no-op tracer overhead: {100 * overhead['overhead_fraction']:.2f}%")
+    prof = kernels_data["profiler_overhead"]
+    print(f"continuous-profiler overhead: {100 * prof['overhead_fraction']:.2f}%")
     return 0
 
 

@@ -66,7 +66,13 @@ class Simulation:
     """A Boussinesq RBC simulation assembled from a :class:`CaseConfig`."""
 
     def __init__(
-        self, config: CaseConfig, tracer=None, metrics=None, anomalies=None, flight=None
+        self,
+        config: CaseConfig,
+        tracer=None,
+        metrics=None,
+        anomalies=None,
+        flight=None,
+        profiler=None,
     ) -> None:
         config.validate()
         self.config = config
@@ -87,6 +93,11 @@ class Simulation:
         self.anomalies = anomalies
         if anomalies is not None and flight is not None and anomalies.flight is None:
             anomalies.flight = flight
+        # Continuous profiler (repro.observability.profile): per-step
+        # measured-vs-modeled attribution fed from the region timers and
+        # gather--scatter counters already maintained below; absent by
+        # default, so the uninstrumented step path is unchanged.
+        self.profiler = profiler
         self._last_step_seconds = 0.0
         self.timers = RegionTimers(tracer=self.tracer)
         self.adaptive = config.adaptive_cfl is not None
@@ -262,6 +273,15 @@ class Simulation:
                         "bytes": gs.bytes_moved - gs_bytes,
                     },
                 )
+                # Timestamped counter samples: these render as metric
+                # lanes ("C" events) under the flame chart, putting the
+                # CFL/backlog story on the same timeline as the phases.
+                self.tracer.sample("sim.cfl", result.cfl)
+                self.tracer.sample("sim.dt", result.dt)
+                if "insitu.queue_depth" in self.metrics:
+                    depth = self.metrics.gauge("insitu.queue_depth").value
+                    if np.isfinite(depth):
+                        self.tracer.sample("insitu.queue_depth", depth)
         step_seconds = _time.perf_counter() - t_step
         self._last_step_seconds = step_seconds
         self._record_step_metrics(result, step_seconds, gs_calls, gs_bytes, gs_seconds)
@@ -331,6 +351,8 @@ class Simulation:
                 self.flight.record_step(self, res)
             if self.anomalies is not None:
                 self.anomalies.observe_step(self, res, step_seconds=self._last_step_seconds)
+            if self.profiler is not None:
+                self.profiler.observe_step(self, res, step_seconds=self._last_step_seconds)
             if stats_interval and self.step_count % stats_interval == 0:
                 with self.tracer.span(PHASE_STATISTICS, step=self.step_count):
                     self.sample_statistics()

@@ -1,0 +1,62 @@
+"""The cross-run campaign observatory.
+
+Where :mod:`repro.observability.profile` watches one run against the
+performance model, this package watches the *campaign*: every perf-harness
+invocation appends one line to an append-only JSONL ledger, and the query
+/ trend / report layers answer how the numbers moved across commits --
+the longitudinal counterparts of the paper's Fig. 3 (scaling) and Fig. 4
+(phase breakdown):
+
+* :mod:`~repro.observability.campaign.ledger` -- :class:`RunRecord` and
+  the append-only :class:`Ledger` with its query API;
+* :mod:`~repro.observability.campaign.trend` -- rolling medians,
+  changepoint detection, per-entry regression/improvement verdicts;
+* :mod:`~repro.observability.campaign.report` -- the text report
+  (Fig. 3-style scaling trend, Fig. 4-style phase-breakdown table);
+* :mod:`~repro.observability.campaign.dashboard` -- the self-contained
+  static HTML artifact;
+* ``python -m repro.observability.campaign`` -- the
+  ``append``/``query``/``trend``/``report``/``dashboard`` CLI.
+"""
+
+from repro.observability.campaign.dashboard import (
+    render_dashboard,
+    sparkline_svg,
+    write_dashboard,
+)
+from repro.observability.campaign.ledger import Ledger, RunRecord, tuning_digest
+from repro.observability.campaign.report import (
+    campaign_report,
+    phase_breakdown_table,
+    scaling_section,
+    trend_section,
+)
+from repro.observability.campaign.trend import (
+    EntryTrend,
+    analyze_ledger,
+    analyze_series,
+    changepoint,
+    classify,
+    median,
+    rolling_median,
+)
+
+__all__ = [
+    "Ledger",
+    "RunRecord",
+    "tuning_digest",
+    "EntryTrend",
+    "median",
+    "rolling_median",
+    "changepoint",
+    "classify",
+    "analyze_series",
+    "analyze_ledger",
+    "campaign_report",
+    "phase_breakdown_table",
+    "scaling_section",
+    "trend_section",
+    "render_dashboard",
+    "sparkline_svg",
+    "write_dashboard",
+]

@@ -1,0 +1,161 @@
+"""``python -m repro.observability.campaign``: the observatory CLI.
+
+Five subcommands over the append-only ledger:
+
+* ``append`` -- fold one or more fresh ``BENCH_*.json`` records into the
+  ledger as a single run (environment, entries, tuning digest);
+* ``query`` -- filtered run listing (by entry, commit, tier, recency);
+* ``trend`` -- per-entry trend verdicts (regression / improvement /
+  stable, changepoints);
+* ``report`` -- the full text report: Fig. 3-style scaling trend,
+  Fig. 4-style phase-breakdown table, per-entry verdicts;
+* ``dashboard`` -- the self-contained static HTML artifact.
+
+Exit codes: 0 on success, 1 when ``trend --fail-on-regression`` finds a
+regression, 2 on unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.observability.campaign.dashboard import write_dashboard
+from repro.observability.campaign.ledger import Ledger, RunRecord
+from repro.observability.campaign.report import campaign_report
+from repro.observability.campaign.trend import analyze_ledger
+
+__all__ = ["main"]
+
+
+def _load_json(path: "Path | str") -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    try:
+        benches = [_load_json(p) for p in args.bench]
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read bench record: {exc}")
+        return 2
+    tuning = None
+    if args.tuning:
+        try:
+            tuning = _load_json(args.tuning)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read tuning table: {exc}")
+            return 2
+    record = RunRecord.from_bench(*benches, run_id=args.run_id, tuning=tuning)
+    ledger = Ledger(args.ledger)
+    ledger.append(record)
+    print(
+        f"appended run {record.run_id} ({len(record.entries)} entries, "
+        f"commit {record.git_sha or '?'}) -> {ledger.path} ({len(ledger)} runs)"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    runs = ledger.query(
+        entry=args.entry, git_sha=args.git_sha, tier=args.tier, last=args.last
+    )
+    if not runs:
+        print("no matching runs")
+        return 0
+    for run in runs:
+        line = (
+            f"{run.run_id}  commit={run.git_sha or '?'}  tier={run.tier}  "
+            f"entries={len(run.entries)}"
+        )
+        if args.entry:
+            s = run.seconds(args.entry)
+            line += f"  {args.entry}={s * 1e3:.3f} ms" if s is not None else ""
+        print(line)
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    trends = analyze_ledger(ledger, key=args.key, threshold=args.threshold)
+    if not trends:
+        print("ledger is empty")
+        return 0
+    regressions = 0
+    for entry in sorted(trends):
+        t = trends[entry]
+        print(t.describe())
+        regressions += t.classification == "regression"
+    if args.fail_on_regression and regressions:
+        print(f"{regressions} entr{'y' if regressions == 1 else 'ies'} regressed")
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(campaign_report(Ledger(args.ledger), last=args.last, threshold=args.threshold))
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    out = write_dashboard(ledger, args.output, last=args.last)
+    print(f"wrote {out} ({len(ledger)} runs)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.campaign",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("append", help="fold BENCH_*.json records into the ledger")
+    p.add_argument("bench", nargs="+", help="BENCH_*.json files of one run")
+    p.add_argument("--ledger", required=True, help="ledger JSONL path")
+    p.add_argument("--run-id", default=None, help="override the derived run id")
+    p.add_argument("--tuning", default=None, help="tuning_table.json to digest")
+    p.set_defaults(func=_cmd_append)
+
+    p = sub.add_parser("query", help="list runs, optionally filtered")
+    p.add_argument("--ledger", required=True)
+    p.add_argument("--entry", default=None, help="only runs carrying this entry")
+    p.add_argument("--git-sha", default=None, help="only runs from this commit")
+    p.add_argument("--tier", default=None)
+    p.add_argument("--last", type=int, default=None, help="only the N most recent")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("trend", help="per-entry trend verdicts")
+    p.add_argument("--ledger", required=True)
+    p.add_argument("--key", default="seconds", help="entry sub-key to trend (default seconds)")
+    p.add_argument("--threshold", type=float, default=0.15)
+    p.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any entry's latest run regressed",
+    )
+    p.set_defaults(func=_cmd_trend)
+
+    p = sub.add_parser("report", help="full text report (Fig. 3 + Fig. 4 views)")
+    p.add_argument("--ledger", required=True)
+    p.add_argument("--last", type=int, default=8, help="runs shown per table")
+    p.add_argument("--threshold", type=float, default=0.15)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("dashboard", help="write the static HTML dashboard")
+    p.add_argument("--ledger", required=True)
+    p.add_argument("--output", default="campaign_dashboard.html")
+    p.add_argument("--last", type=int, default=12)
+    p.set_defaults(func=_cmd_dashboard)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # pragma: no cover - `| head` closed the pipe
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

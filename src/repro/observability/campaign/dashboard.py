@@ -1,0 +1,150 @@
+"""Static HTML dashboard for the campaign ledger.
+
+One self-contained HTML file -- inline CSS, inline SVG sparklines, no
+scripts, no external assets -- so CI can upload it as an artifact and it
+renders anywhere a browser opens it.  The content mirrors the text
+report: a run table, the Fig. 3 scaling block, the Fig. 4 phase shares
+and a per-entry trend list with a sparkline of each series.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.observability.campaign.ledger import Ledger
+from repro.observability.campaign.report import BREAKDOWN_PHASES
+from repro.observability.campaign.trend import analyze_ledger
+
+__all__ = ["sparkline_svg", "render_dashboard", "write_dashboard"]
+
+_BADGE_COLORS = {
+    "regression": "#c0392b",
+    "improvement": "#27ae60",
+    "stable": "#7f8c8d",
+}
+
+_STYLE = """
+body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif; margin: 2rem;
+       color: #222; max-width: 70rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+th, td { padding: 0.25rem 0.6rem; border-bottom: 1px solid #ddd; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.badge { display: inline-block; padding: 0.05rem 0.45rem; border-radius: 0.6rem;
+         color: white; font-size: 0.75rem; }
+.spark { vertical-align: middle; }
+.muted { color: #888; font-size: 0.8rem; }
+"""
+
+
+def sparkline_svg(values: list[float], width: int = 120, height: int = 24) -> str:
+    """Inline SVG polyline of a series, normalized to its own range."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    pts = []
+    for i, v in enumerate(values):
+        x = 2 + (width - 4) * (i / max(1, n - 1))
+        y = height - 2 - (height - 4) * ((v - lo) / span)
+        pts.append(f"{x:.1f},{y:.1f}")
+    points = " ".join(pts)
+    last_x, last_y = pts[-1].split(",")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline points="{points}" fill="none" stroke="#2980b9" stroke-width="1.5"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2" fill="#2980b9"/></svg>'
+    )
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def render_dashboard(ledger: Ledger, last: int = 12) -> str:
+    """The full dashboard as one HTML string."""
+    runs = ledger.records()
+    trends = analyze_ledger(ledger)
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>campaign observatory</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>Campaign observatory</h1>",
+        f"<p class='muted'>ledger: {_esc(ledger.path)} &mdash; {len(runs)} runs</p>",
+    ]
+
+    # Run table (most recent last, like the ledger itself).
+    parts.append("<h2>Runs</h2><table><tr><th>run</th><th>commit</th>"
+                 "<th>timestamp</th><th>tier</th><th>entries</th><th>tuning</th></tr>")
+    for run in runs[-last:]:
+        parts.append(
+            "<tr>"
+            f"<td>{_esc(run.run_id)}</td><td>{_esc(run.git_sha or '-')}</td>"
+            f"<td>{_esc(run.timestamp or '-')}</td><td>{_esc(run.tier)}</td>"
+            f"<td>{len(run.entries)}</td><td>{_esc(run.tuning or '-')}</td></tr>"
+        )
+    parts.append("</table>")
+
+    # Fig. 4 view: phase share of the step per run.
+    step_runs = [r for r in runs[-last:] if r.seconds("step")]
+    if step_runs:
+        parts.append("<h2>Phase breakdown (Fig. 4 view, % of step)</h2>"
+                     "<table><tr><th>phase</th>")
+        parts.extend(f"<th>{_esc(r.git_sha or r.run_id)}</th>" for r in step_runs)
+        parts.append("</tr>")
+        for phase in BREAKDOWN_PHASES:
+            parts.append(f"<tr><td>{_esc(phase)}</td>")
+            for run in step_runs:
+                ph, step = run.seconds(phase), run.seconds("step")
+                cell = f"{100.0 * ph / step:.1f}%" if ph is not None and step else "-"
+                parts.append(f"<td>{cell}</td>")
+            parts.append("</tr>")
+        parts.append("<tr><td>step [ms]</td>")
+        parts.extend(f"<td>{r.seconds('step') * 1e3:.2f}</td>" for r in step_runs)
+        parts.append("</tr></table>")
+
+    # Fig. 3 view: one sparkline per world entry.
+    world_entries = [e for e in ledger.entry_names() if e.startswith("world")]
+    if world_entries:
+        parts.append("<h2>Strong-scaling trend (Fig. 3 view)</h2><table>"
+                     "<tr><th>entry</th><th>latest</th><th>trend</th><th>series</th></tr>")
+        for entry in world_entries:
+            series = [v for _, v in ledger.series(entry)]
+            if not series:
+                continue
+            t = trends.get(entry)
+            badge = ""
+            if t is not None:
+                color = _BADGE_COLORS[t.classification]
+                badge = f"<span class='badge' style='background:{color}'>{t.classification}</span>"
+            parts.append(
+                f"<tr><td>{_esc(entry)}</td><td>{series[-1] * 1e3:.2f} ms</td>"
+                f"<td>{badge}</td><td>{sparkline_svg(series)}</td></tr>"
+            )
+        parts.append("</table>")
+
+    # All entries with sparklines and verdict badges.
+    parts.append("<h2>Entry trends</h2><table><tr><th>entry</th><th>latest</th>"
+                 "<th>vs median</th><th>verdict</th><th>series</th></tr>")
+    order = {"regression": 0, "improvement": 1, "stable": 2}
+    for t in sorted(trends.values(), key=lambda t: (order[t.classification], t.entry)):
+        color = _BADGE_COLORS[t.classification]
+        parts.append(
+            f"<tr><td>{_esc(t.entry)}</td><td>{t.latest:.6g}</td>"
+            f"<td>{t.relative_change:+.1%}</td>"
+            f"<td><span class='badge' style='background:{color}'>{t.classification}</span></td>"
+            f"<td>{sparkline_svg(list(t.values))}</td></tr>"
+        )
+    parts.append("</table></body></html>")
+    return "".join(parts)
+
+
+def write_dashboard(ledger: Ledger, path: "Path | str", last: int = 12) -> Path:
+    """Render and write the dashboard; returns the output path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(ledger, last=last), encoding="utf-8")
+    return out

@@ -1,0 +1,212 @@
+"""The campaign ledger: an append-only JSONL record of every bench run.
+
+A single ``BENCH_*.json`` answers "how fast is this commit"; a campaign
+needs "how fast has this been *trending*" -- across commits, machines and
+weeks.  The ledger is the cross-run memory: one JSONL line per run, each
+line self-contained (schema version, run id, environment metadata
+including the git SHA and the harness-recorded timestamp, every benchmark
+entry's timings/traffic/memory figures, and a digest of the tuning table
+that was active), appended and never rewritten.  Append-only means two
+concurrent CI jobs cannot corrupt each other's history and a truncated
+final line (a killed job) is skipped on read instead of poisoning the
+file.
+
+Timestamps are *injected* via the environment dict the perf harness
+records -- nothing here reads a clock, keeping the package inside the
+repository's determinism rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.observability.jsonio import dump_line, sanitize
+
+__all__ = ["RunRecord", "Ledger", "tuning_digest"]
+
+SCHEMA_VERSION = 1
+
+
+def tuning_digest(tuning: dict | None) -> str | None:
+    """Stable short digest of a tuning-table selection mapping."""
+    if not tuning:
+        return None
+    canon = json.dumps(sanitize(tuning), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One benchmarked run: environment, entries, provenance."""
+
+    run_id: str
+    environment: dict = field(default_factory=dict)
+    #: ``{entry name: {seconds, bytes?, calls?, memory?, ...}}`` -- the
+    #: union of the harness's kernel and step results.
+    entries: dict = field(default_factory=dict)
+    tier: str = "smoke"
+    tuning: str | None = None  # tuning-table digest
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def git_sha(self) -> str | None:
+        sha = self.environment.get("git_sha")
+        return str(sha) if sha else None
+
+    @property
+    def timestamp(self) -> str | None:
+        ts = self.environment.get("timestamp")
+        return str(ts) if ts else None
+
+    def seconds(self, entry: str) -> float | None:
+        rec = self.entries.get(entry)
+        if rec is None:
+            return None
+        s = rec.get("seconds")
+        return float(s) if s is not None else None
+
+    @classmethod
+    def from_bench(
+        cls,
+        *benches: dict,
+        run_id: str | None = None,
+        tuning: dict | None = None,
+        tags: dict | None = None,
+    ) -> "RunRecord":
+        """Build a record from one or more parsed ``BENCH_*.json`` dicts.
+
+        Entries from later files win on name collision.  The run id
+        defaults to ``<git sha>-<timestamp>`` from the first bench's
+        environment -- unique per harness invocation without this module
+        reading a clock.
+        """
+        if not benches:
+            raise ValueError("need at least one bench record")
+        env = dict(benches[0].get("environment", {}))
+        entries: dict = {}
+        for bench in benches:
+            for name, rec in bench.get("results", {}).items():
+                entries[name] = dict(rec)
+            overhead = bench.get("noop_tracer_overhead")
+            if overhead is not None:
+                entries.setdefault("noop_tracer_overhead", dict(overhead))
+            overhead = bench.get("profiler_overhead")
+            if overhead is not None:
+                entries.setdefault("profiler_overhead", dict(overhead))
+        if run_id is None:
+            sha = env.get("git_sha") or "unknown"
+            ts = env.get("timestamp") or f"n{len(entries)}"
+            run_id = f"{sha}-{ts}"
+        return cls(
+            run_id=run_id,
+            environment=env,
+            entries=entries,
+            tier=str(benches[0].get("tier", "smoke")),
+            tuning=tuning_digest(tuning),
+            tags=dict(tags or {}),
+        )
+
+    def as_record(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "run",
+            "run_id": self.run_id,
+            "tier": self.tier,
+            "environment": self.environment,
+            "entries": self.entries,
+            "tuning": self.tuning,
+            "tags": self.tags,
+        }
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "RunRecord":
+        return cls(
+            run_id=str(rec.get("run_id", "?")),
+            environment=dict(rec.get("environment", {})),
+            entries=dict(rec.get("entries", {})),
+            tier=str(rec.get("tier", "smoke")),
+            tuning=rec.get("tuning"),
+            tags=dict(rec.get("tags", {})),
+        )
+
+
+class Ledger:
+    """Append-only JSONL ledger with a query API.
+
+    The file need not exist until the first :meth:`append`; reads of a
+    missing ledger yield an empty history rather than an error, so report
+    tooling degrades gracefully on a fresh checkout.
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+
+    def append(self, record: RunRecord) -> None:
+        """Append one run (strict JSON, one line, parent dirs created)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(dump_line(record.as_record()))
+
+    def _iter_lines(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail of a killed writer
+                if rec.get("kind") == "run":
+                    yield rec
+
+    def records(self) -> list[RunRecord]:
+        """All runs, oldest first (file order)."""
+        return [RunRecord.from_record(rec) for rec in self._iter_lines()]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_lines())
+
+    def query(
+        self,
+        entry: str | None = None,
+        git_sha: str | None = None,
+        tier: str | None = None,
+        last: int | None = None,
+    ) -> list[RunRecord]:
+        """Filtered runs: by entry presence, git SHA, tier and/or recency."""
+        runs = self.records()
+        if entry is not None:
+            runs = [r for r in runs if entry in r.entries]
+        if git_sha is not None:
+            runs = [r for r in runs if r.git_sha == git_sha]
+        if tier is not None:
+            runs = [r for r in runs if r.tier == tier]
+        if last is not None and last >= 0:
+            runs = runs[-last:] if last else []
+        return runs
+
+    def entry_names(self) -> list[str]:
+        """Union of entry names across all runs, sorted."""
+        names: set[str] = set()
+        for run in self.records():
+            names.update(run.entries)
+        return sorted(names)
+
+    def series(self, entry: str, key: str = "seconds") -> list[tuple[str, float]]:
+        """``(run_id, value)`` pairs for one entry's numeric sub-key."""
+        out: list[tuple[str, float]] = []
+        for run in self.records():
+            rec = run.entries.get(entry)
+            if rec is None:
+                continue
+            value = rec.get(key)
+            if isinstance(value, (int, float)) and value is not None:
+                out.append((run.run_id, float(value)))
+        return out

@@ -1,0 +1,162 @@
+"""Campaign reports: cross-run Fig. 3 / Fig. 4 views of the ledger.
+
+The paper's two performance figures are a strong-scaling curve (Fig. 3)
+and a per-phase wall-time breakdown (Fig. 4); a campaign needs the same
+two views *with time as an extra axis*: how the phase shares and the
+distributed-solve timings moved across the recorded runs.  These renderers
+are plain text -- reviewable in a terminal or a CI log -- and the HTML
+dashboard builds on the same data.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.observability.campaign.ledger import Ledger, RunRecord
+from repro.observability.campaign.trend import EntryTrend, analyze_ledger
+
+__all__ = [
+    "phase_breakdown_table",
+    "scaling_section",
+    "trend_section",
+    "campaign_report",
+]
+
+#: The Fig. 4 taxonomy, in report order.
+BREAKDOWN_PHASES: tuple[str, ...] = (
+    "pressure",
+    "velocity",
+    "temperature",
+    "advection",
+    "gather_scatter",
+)
+
+_WORLD_ENTRY = re.compile(r"^world(\d+)_")
+
+
+def _run_label(run: RunRecord, index: int) -> str:
+    """Short column label: the git SHA when known, else a run ordinal."""
+    return run.git_sha or f"run{index + 1}"
+
+
+def phase_breakdown_table(ledger: Ledger, last: int = 8) -> str:
+    """Fig. 4-style phase-breakdown trend: phase share of the step per run.
+
+    Columns are the most recent ``last`` runs (oldest first), rows the
+    Fig. 4 phases; each cell is that phase's percentage of the run's
+    measured step time, with the absolute step time in the footer row.
+    Reading along a row shows a phase's share drifting across the
+    campaign -- the longitudinal version of the paper's single pie chart.
+    """
+    runs = [r for r in ledger.query(entry="step", last=last) if r.seconds("step")]
+    if not runs:
+        return "phase breakdown: no runs with a measured step entry"
+    labels = [_run_label(r, i) for i, r in enumerate(runs)]
+    w = max(8, *(len(lab) for lab in labels))
+    header = f"  {'phase':<16s} " + " ".join(f"{lab:>{w}s}" for lab in labels)
+    lines = [
+        f"phase breakdown across {len(runs)} runs (% of step, Fig. 4 view):",
+        header,
+        "  " + "-" * (len(header) - 2),
+    ]
+    for phase in BREAKDOWN_PHASES:
+        cells = []
+        for run in runs:
+            ph, step = run.seconds(phase), run.seconds("step")
+            cells.append(
+                f"{100.0 * ph / step:>{w - 1}.1f}%" if ph is not None and step else f"{'-':>{w}s}"
+            )
+        lines.append(f"  {phase:<16s} " + " ".join(cells))
+    step_cells = " ".join(f"{run.seconds('step') * 1e3:>{w - 3}.2f} ms" for run in runs)
+    lines.append(f"  {'step [ms]':<16s} {step_cells}")
+    return "\n".join(lines)
+
+
+def scaling_section(ledger: Ledger, last: int = 8) -> str:
+    """Fig. 3-style scaling view: distributed-solve time per rank count, per run.
+
+    Rows are the ``world<N>_*`` entries (the executable stand-ins for the
+    strong-scaling step), columns the recent runs; cells carry the solve
+    seconds.  A second block reports the per-run iteration counts when
+    recorded, since a timing shift with constant iterations means silicon
+    or code, while shifting iterations means the algorithm changed.
+    """
+    entries = [e for e in ledger.entry_names() if _WORLD_ENTRY.match(e)]
+    if not entries:
+        return "scaling: no world*_ entries recorded yet"
+    entries.sort(key=lambda e: int(_WORLD_ENTRY.match(e).group(1)))
+    runs = [r for r in ledger.query(last=last) if any(e in r.entries for e in entries)]
+    if not runs:
+        return "scaling: no runs carry world*_ entries"
+    labels = [_run_label(r, i) for i, r in enumerate(runs)]
+    w = max(10, *(len(lab) for lab in labels))
+    header = f"  {'entry':<18s} {'ranks':>5s} " + " ".join(f"{lab:>{w}s}" for lab in labels)
+    lines = [
+        f"strong-scaling trend across {len(runs)} runs (Fig. 3 view, seconds/solve):",
+        header,
+        "  " + "-" * (len(header) - 2),
+    ]
+    for entry in entries:
+        ranks = ""
+        for run in runs:
+            rec = run.entries.get(entry)
+            if rec and rec.get("ranks"):
+                ranks = str(rec["ranks"])
+                break
+        cells = []
+        for run in runs:
+            s = run.seconds(entry)
+            cells.append(f"{s * 1e3:>{w - 3}.2f} ms" if s is not None else f"{'-':>{w}s}")
+        lines.append(f"  {entry:<18s} {ranks:>5s} " + " ".join(cells))
+    iter_rows = []
+    for entry in entries:
+        cells = []
+        any_iters = False
+        for run in runs:
+            rec = run.entries.get(entry) or {}
+            iters = rec.get("iterations")
+            any_iters = any_iters or iters is not None
+            cells.append(f"{iters:>{w}d}" if isinstance(iters, int) else f"{'-':>{w}s}")
+        if any_iters:
+            iter_rows.append(f"  {entry:<18s} {'iters':>5s} " + " ".join(cells))
+    if iter_rows:
+        lines.extend(iter_rows)
+    return "\n".join(lines)
+
+
+def trend_section(trends: dict[str, EntryTrend]) -> str:
+    """Per-entry verdicts, regressions first."""
+    if not trends:
+        return "trends: ledger is empty"
+    order = {"regression": 0, "improvement": 1, "stable": 2}
+    ranked = sorted(trends.values(), key=lambda t: (order[t.classification], t.entry))
+    lines = ["per-entry trends (latest vs prior-history median):"]
+    for t in ranked:
+        lines.append("  " + t.describe())
+    n_reg = sum(t.classification == "regression" for t in ranked)
+    n_imp = sum(t.classification == "improvement" for t in ranked)
+    lines.append(
+        f"  {len(ranked)} entries: {n_reg} regression(s), {n_imp} improvement(s), "
+        f"{len(ranked) - n_reg - n_imp} stable"
+    )
+    return "\n".join(lines)
+
+
+def campaign_report(ledger: Ledger, last: int = 8, threshold: float = 0.15) -> str:
+    """The full text report: header, Fig. 3 view, Fig. 4 view, trends."""
+    runs = ledger.records()
+    if not runs:
+        return f"campaign ledger {ledger.path}: empty"
+    shas = [r.git_sha for r in runs if r.git_sha]
+    span = f"{runs[0].timestamp or '?'} .. {runs[-1].timestamp or '?'}"
+    lines = [
+        f"campaign ledger {ledger.path}: {len(runs)} runs, "
+        f"{len(set(shas))} distinct commit(s), {span}",
+        "",
+        scaling_section(ledger, last=last),
+        "",
+        phase_breakdown_table(ledger, last=last),
+        "",
+        trend_section(analyze_ledger(ledger, threshold=threshold)),
+    ]
+    return "\n".join(lines)

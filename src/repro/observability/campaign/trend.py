@@ -1,0 +1,152 @@
+"""Trend analytics over ledger series: medians, changepoints, verdicts.
+
+Single-run comparisons (``compare_bench``) answer "did this run regress
+against one baseline"; trend analytics answer the campaign questions:
+is an entry drifting, did it step-change at some commit, is the latest
+run an outlier or the new normal.  Everything is closed-form order
+statistics -- robust to the heavy-tailed noise of shared CI runners,
+deterministic, and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "rolling_median",
+    "median",
+    "changepoint",
+    "classify",
+    "EntryTrend",
+    "analyze_series",
+    "analyze_ledger",
+]
+
+
+def median(values: list[float]) -> float:
+    """Plain median (mean of the middle pair for even lengths)."""
+    if not values:
+        raise ValueError("median of an empty series")
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+def rolling_median(values: list[float], window: int = 5) -> list[float]:
+    """Trailing-window median per point (window clipped at the start)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    return [median(values[max(0, i + 1 - window) : i + 1]) for i in range(len(values))]
+
+
+def changepoint(values: list[float], min_shift: float = 0.15) -> tuple[int, float] | None:
+    """Most likely level-shift split of a series, if any.
+
+    Scans every split position keeping at least two points on each side
+    and returns ``(index, relative shift)`` for the split maximizing the
+    relative difference of the two sides' medians -- ``index`` is the
+    first point of the *new* level.  Returns ``None`` when the series is
+    too short or the best shift is below ``min_shift`` (15 % by default,
+    comfortably above same-machine bench noise).
+    """
+    n = len(values)
+    if n < 4:
+        return None
+    best: tuple[int, float] | None = None
+    best_key: tuple[float, int] | None = None
+    for i in range(2, n - 1):
+        before = median(values[:i])
+        after = median(values[i:])
+        if before <= 0.0:
+            continue
+        shift = (after - before) / before
+        # Ties on the shift magnitude (coarse medians make them common)
+        # go to the most balanced split -- for a clean level step that is
+        # the actual step position.
+        key = (abs(shift), min(i, n - i))
+        if best_key is None or key > best_key:
+            best, best_key = (i, shift), key
+    if best is None or abs(best[1]) < min_shift:
+        return None
+    return best
+
+
+def classify(values: list[float], threshold: float = 0.15) -> str:
+    """Verdict for the latest run against the prior history's median.
+
+    ``regression`` when the last value exceeds the median of everything
+    before it by more than ``threshold`` (higher = slower for timing
+    series), ``improvement`` when below by the same margin, ``stable``
+    otherwise.  Series with fewer than three points are ``stable`` --
+    there is no history to trend against.
+    """
+    if len(values) < 3:
+        return "stable"
+    baseline = median(values[:-1])
+    if baseline <= 0.0:
+        return "stable"
+    rel = (values[-1] - baseline) / baseline
+    if rel > threshold:
+        return "regression"
+    if rel < -threshold:
+        return "improvement"
+    return "stable"
+
+
+@dataclass(frozen=True)
+class EntryTrend:
+    """Trend summary of one benchmark entry across the campaign."""
+
+    entry: str
+    n_runs: int
+    values: tuple[float, ...]
+    latest: float
+    baseline_median: float
+    relative_change: float  # latest vs prior-history median
+    classification: str  # regression | improvement | stable
+    changepoint_index: int | None = None
+    changepoint_shift: float | None = None
+
+    def describe(self) -> str:
+        arrow = {"regression": "+", "improvement": "-", "stable": "~"}[self.classification]
+        line = (
+            f"{self.entry}: {self.classification} "
+            f"({arrow}{abs(self.relative_change):.1%} vs median of {self.n_runs - 1} prior runs)"
+        )
+        if self.changepoint_index is not None:
+            line += (
+                f"; level shift {self.changepoint_shift:+.1%} "
+                f"at run {self.changepoint_index + 1}/{self.n_runs}"
+            )
+        return line
+
+
+def analyze_series(entry: str, values: list[float], threshold: float = 0.15) -> EntryTrend:
+    """Full trend summary of one series (needs at least one point)."""
+    if not values:
+        raise ValueError(f"{entry}: empty series")
+    baseline = median(values[:-1]) if len(values) > 1 else values[-1]
+    rel = (values[-1] - baseline) / baseline if baseline > 0 else 0.0
+    cp = changepoint(values)
+    return EntryTrend(
+        entry=entry,
+        n_runs=len(values),
+        values=tuple(values),
+        latest=values[-1],
+        baseline_median=baseline,
+        relative_change=rel,
+        classification=classify(values, threshold=threshold),
+        changepoint_index=cp[0] if cp else None,
+        changepoint_shift=cp[1] if cp else None,
+    )
+
+
+def analyze_ledger(ledger, key: str = "seconds", threshold: float = 0.15) -> dict[str, EntryTrend]:
+    """Per-entry trends over every entry a ledger has ever recorded."""
+    out: dict[str, EntryTrend] = {}
+    for entry in ledger.entry_names():
+        series = [v for _, v in ledger.series(entry, key=key)]
+        if series:
+            out[entry] = analyze_series(entry, series, threshold=threshold)
+    return out

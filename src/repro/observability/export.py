@@ -4,17 +4,26 @@ Three formats, mirroring how the paper's measurements are consumed:
 
 * **Chrome trace JSON** -- loads directly into ``chrome://tracing`` (or
   Perfetto) and renders the nested spans as the familiar flame chart, the
-  reproduction of the Fig. 2 style kernel trace.
+  reproduction of the Fig. 2 style kernel trace.  Counter samples
+  (``Tracer.sample``) and metric final values become ``"C"`` counter
+  events, so queue depth, CFL and anomaly signals render as lanes under
+  the spans instead of hiding in metadata.
 * **JSONL** -- one span per line, the machine-readable stream for ad-hoc
   analysis (pandas, jq).
 * **Text report** -- an aggregated tree with totals, counts and share of
   parent time, the Fig. 4 style per-phase breakdown.
+
+All writers serialize through :mod:`repro.observability.jsonio`, so a
+non-finite gauge (NaN residual, empty-histogram mean) produces strict
+JSON (``null`` / ``"Infinity"``) instead of an invalid literal.
 """
 
 from __future__ import annotations
 
-import json
+import math
 from typing import TYPE_CHECKING
+
+from repro.observability.jsonio import dump_line, dumps, sanitize
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observability.metrics import MetricsRegistry
@@ -22,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "to_chrome_trace",
+    "metric_counter_events",
     "write_chrome_trace",
     "span_records",
     "write_jsonl",
@@ -38,6 +48,31 @@ def _args(span: "Span") -> dict:
     return args
 
 
+def metric_counter_events(
+    metrics: "MetricsRegistry", pid: int = 0, tid: int = 0, ts_us: float = 0.0
+) -> list[dict]:
+    """Chrome-trace counter (``"C"``) events for a registry's final values.
+
+    Gauges become one counter sample named after the metric (``value``
+    series); histograms expose their ``mean``/``p95``.  Non-finite values
+    are skipped -- a NaN lane renders as garbage and ``Infinity`` is not
+    JSON -- they remain visible, sanitized, in the trace ``metadata``.
+    """
+    events: list[dict] = []
+    for name, snap in metrics.snapshot().items():
+        base = {"name": name, "ph": "C", "cat": "metric", "pid": pid, "tid": tid, "ts": ts_us}
+        if snap.get("type") == "gauge":
+            if math.isfinite(snap["value"]):
+                events.append({**base, "args": {"value": snap["value"]}})
+        elif snap.get("type") == "histogram":
+            series = {
+                k: snap[k] for k in ("mean", "p95") if math.isfinite(snap.get(k, math.nan))
+            }
+            if series:
+                events.append({**base, "args": series})
+    return events
+
+
 def to_chrome_trace(
     tracer: "Tracer",
     metrics: "MetricsRegistry | None" = None,
@@ -48,9 +83,12 @@ def to_chrome_trace(
     """Build a Chrome-trace ``dict`` (``chrome://tracing``-loadable).
 
     Spans become ``"X"`` (complete) events with microsecond timestamps;
-    instant events become ``"i"`` events.  A metrics snapshot, when given,
-    is attached as trace ``metadata`` (visible in the viewer's metadata
-    pane) so one file carries the whole record.
+    instant events become ``"i"`` events; counter samples
+    (:meth:`~repro.observability.tracer.Tracer.sample`) become ``"C"``
+    events that render as metric lanes.  A metrics snapshot, when given,
+    contributes final-value ``"C"`` lanes placed at the end of the
+    timeline *and* rides along as trace ``metadata`` so one file carries
+    the whole record.
     """
     events: list[dict] = [
         {
@@ -61,9 +99,11 @@ def to_chrome_trace(
             "args": {"name": process_name},
         }
     ]
+    end_ts = 0.0
     for span in tracer.walk():
         if span.end is None:
             continue  # still open; an exported half-span would render as garbage
+        end_ts = max(end_ts, span.end * 1e6)
         base = {
             "name": span.name,
             "cat": str(span.tags.get("cat", "sim")),
@@ -71,7 +111,11 @@ def to_chrome_trace(
             "tid": tid,
             "ts": span.start * 1e6,
         }
-        if span.instant:
+        if span.sample:
+            value = span.counters.get("value", 0.0)
+            if math.isfinite(value):
+                events.append({**base, "ph": "C", "args": {"value": value}})
+        elif span.instant:
             events.append({**base, "ph": "i", "s": "t", "args": _args(span)})
         else:
             events.append(
@@ -79,6 +123,7 @@ def to_chrome_trace(
             )
     trace = {"traceEvents": events, "displayTimeUnit": "ms"}
     if metrics is not None:
+        events.extend(metric_counter_events(metrics, pid=pid, tid=tid, ts_us=end_ts))
         trace["metadata"] = {"metrics": metrics.snapshot()}
     return trace
 
@@ -86,9 +131,9 @@ def to_chrome_trace(
 def write_chrome_trace(
     path, tracer: "Tracer", metrics: "MetricsRegistry | None" = None, **kwargs
 ) -> None:
-    """Serialize :func:`to_chrome_trace` to ``path``."""
+    """Serialize :func:`to_chrome_trace` to ``path`` (strict JSON)."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(tracer, metrics, **kwargs), fh)
+        fh.write(dumps(to_chrome_trace(tracer, metrics, **kwargs)))
 
 
 def span_records(tracer: "Tracer"):
@@ -103,16 +148,17 @@ def span_records(tracer: "Tracer"):
             "depth": span.depth,
             "parent": span.parent.name if span.parent is not None else None,
             "instant": span.instant,
-            "tags": dict(span.tags),
-            "counters": dict(span.counters),
+            "sample": span.sample,
+            "tags": sanitize(dict(span.tags)),
+            "counters": sanitize(dict(span.counters)),
         }
 
 
 def write_jsonl(path, tracer: "Tracer") -> None:
-    """One JSON object per finished span, one per line."""
+    """One JSON object per finished span, one per line (strict JSON)."""
     with open(path, "w", encoding="utf-8") as fh:
         for rec in span_records(tracer):
-            fh.write(json.dumps(rec) + "\n")
+            fh.write(dump_line(rec))
 
 
 def text_report(tracer: "Tracer", metrics: "MetricsRegistry | None" = None) -> str:

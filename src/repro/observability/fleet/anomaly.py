@@ -106,6 +106,54 @@ class EwmaDetector:
         self.var = 0.0
         self.observations = 0
 
+    def reset(self) -> None:
+        """Forget the running statistics; the warm-up window starts over.
+
+        After a rollback/restart the first samples of the resumed run are
+        transient again -- re-entering warm-up keeps them from flagging
+        against statistics that belong to a different flow state.
+        """
+        self.mean = math.nan
+        self.var = 0.0
+        self.observations = 0
+
+    # -- serialization (flight-recorder round trip) ---------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of configuration + running state."""
+        return {
+            "series": self.series,
+            "alpha": self.alpha,
+            "z_threshold": self.z_threshold,
+            "warmup": self.warmup,
+            "min_std": self.min_std,
+            "rel_floor": self.rel_floor,
+            "mean": self.mean,
+            "var": self.var,
+            "observations": self.observations,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EwmaDetector":
+        """Rebuild a detector mid-stream from :meth:`state_dict` output.
+
+        A ``mean`` of ``None`` (a NaN sanitized by the strict-JSON writer)
+        restores to NaN -- the pre-first-observation value.
+        """
+        det = cls(
+            str(state["series"]),
+            alpha=float(state.get("alpha", 0.25)),
+            z_threshold=float(state.get("z_threshold", 4.0)),
+            warmup=int(state.get("warmup", 8)),
+            min_std=float(state.get("min_std", 1e-12)),
+            rel_floor=float(state.get("rel_floor", 0.1)),
+        )
+        mean = state.get("mean")
+        det.mean = math.nan if mean is None else float(mean)
+        det.var = float(state.get("var", 0.0) or 0.0)
+        det.observations = int(state.get("observations", 0))
+        return det
+
     def observe(self, value: float, step: int = -1) -> Anomaly | None:
         """Feed one observation; returns an :class:`Anomaly` if it flags.
 
@@ -171,12 +219,67 @@ class AnomalyMonitor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.event_log = event_log
-        self.flight = flight
+        self._flight: "FlightRecorder | None" = None
         self.alpha = alpha
         self.z_threshold = z_threshold
         self.warmup = warmup
         self.detectors: dict[str, EwmaDetector] = {}
         self.anomalies: list[Anomaly] = []
+        self.flight = flight
+
+    @property
+    def flight(self) -> "FlightRecorder | None":
+        return self._flight
+
+    @flight.setter
+    def flight(self, recorder: "FlightRecorder | None") -> None:
+        """Attach the flight sink; registers this monitor's state provider.
+
+        The recorder pulls :meth:`state_dict` at dump time, so a crash
+        bundle carries the detectors' running statistics and a restarted
+        run can resume detection without re-warming (and without the
+        level-shift false positives a cold restart would produce).
+        """
+        self._flight = recorder
+        if recorder is not None:
+            recorder.state_providers["anomaly_monitor"] = self.state_dict
+
+    def reset(self) -> None:
+        """Reset every detector into its warm-up window (kept, not dropped)."""
+        for det in self.detectors.values():
+            det.reset()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every detector's running state."""
+        return {
+            "alpha": self.alpha,
+            "z_threshold": self.z_threshold,
+            "warmup": self.warmup,
+            "detectors": {k: d.state_dict() for k, d in sorted(self.detectors.items())},
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        tracer: Any = None,
+        metrics: "MetricsRegistry | None" = None,
+        event_log: Any = None,
+        flight: "FlightRecorder | None" = None,
+    ) -> "AnomalyMonitor":
+        """Rebuild a monitor (fresh sinks, restored detectors) from a dump."""
+        mon = cls(
+            tracer=tracer,
+            metrics=metrics,
+            event_log=event_log,
+            flight=flight,
+            alpha=float(state.get("alpha", 0.25)),
+            z_threshold=float(state.get("z_threshold", 4.0)),
+            warmup=int(state.get("warmup", 8)),
+        )
+        for series, det_state in state.get("detectors", {}).items():
+            mon.detectors[str(series)] = EwmaDetector.from_state(det_state)
+        return mon
 
     def detector(self, series: str) -> EwmaDetector:
         """The detector for ``series``, created on first use."""
@@ -199,6 +302,9 @@ class AnomalyMonitor:
         self.anomalies.append(anomaly)
         record = anomaly.as_record()
         self.tracer.event(f"anomaly.{series}", cat="anomaly", **record)
+        # A z-score counter sample alongside the instant: anomalies render
+        # as a spiky lane in the exported trace, not just as markers.
+        self.tracer.sample(f"anomaly.{series}", anomaly.zscore)
         data = dict(record)
         data.pop("step", None)  # passed positionally below
         if self.metrics is not None:

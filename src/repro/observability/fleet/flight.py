@@ -28,10 +28,13 @@ import json
 import os
 import signal as _signal
 from collections import deque
+from collections.abc import Callable
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, is_dataclass
 from pathlib import Path
 from typing import Any, Iterator
+
+from repro.observability.jsonio import dump_line
 
 __all__ = ["FlightFrame", "FlightRecorder", "FlightBundle", "FLIGHT_DIR_ENV"]
 
@@ -105,6 +108,12 @@ class FlightRecorder:
         self.events: deque[dict] = deque(maxlen=event_capacity or 8 * capacity)
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.dumps: list[Path] = []
+        #: ``{name: zero-arg callable}`` polled at dump time; each yields a
+        #: JSON-serializable state dict written as a ``"state"`` record.
+        #: The anomaly monitor registers itself here so a crash bundle
+        #: carries its detectors' running statistics (see
+        #: :attr:`~repro.observability.fleet.anomaly.AnomalyMonitor.flight`).
+        self.state_providers: dict[str, Callable[[], dict]] = {}
 
     # -- recording ------------------------------------------------------------
 
@@ -189,9 +198,13 @@ class FlightRecorder:
         """Write the bundle atomically; returns the final path.
 
         The bundle is JSONL: a header line, then one line per frame
-        (oldest first), then one line per event.  Written to a temporary
-        sibling and moved into place with ``os.replace``, so a reader (or
-        a second crash) never sees a half-written bundle.
+        (oldest first), then one line per event, then one ``"state"`` line
+        per registered state provider.  Every line goes through the
+        strict-JSON sanitizer (:mod:`repro.observability.jsonio`) -- a NaN
+        gauge in a frame's metrics snapshot becomes ``null``, never an
+        invalid ``NaN`` literal.  Written to a temporary sibling and moved
+        into place with ``os.replace``, so a reader (or a second crash)
+        never sees a half-written bundle.
         """
         target = self._resolve_path(path, reason)
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -206,11 +219,13 @@ class FlightRecorder:
         }
         tmp = target.with_name(target.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(header, default=_jsonable) + "\n")
+            fh.write(dump_line(header))
             for frame in self.frames:
-                fh.write(json.dumps(frame.as_record(), default=_jsonable) + "\n")
+                fh.write(dump_line(frame.as_record()))
             for ev in self.events:
-                fh.write(json.dumps(ev, default=_jsonable) + "\n")
+                fh.write(dump_line(ev))
+            for name, provider in sorted(self.state_providers.items()):
+                fh.write(dump_line({"kind": "state", "name": name, "state": provider()}))
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, target)
@@ -260,6 +275,9 @@ class FlightBundle:
     header: dict
     frames: list[FlightFrame] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
+    #: ``{provider name: state dict}`` from the recorder's state providers
+    #: (e.g. ``"anomaly_monitor"`` -> detector statistics).
+    states: dict[str, dict] = field(default_factory=dict)
 
     @property
     def steps(self) -> list[int]:
@@ -271,6 +289,7 @@ class FlightBundle:
         header: dict | None = None
         frames: list[FlightFrame] = []
         events: list[dict] = []
+        states: dict[str, dict] = {}
         with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -284,11 +303,13 @@ class FlightBundle:
                     frames.append(FlightFrame.from_record(rec))
                 elif kind == "event":
                     events.append(rec)
+                elif kind == "state":
+                    states[str(rec.get("name"))] = dict(rec.get("state", {}))
                 else:
                     raise ValueError(f"unknown flight record kind {kind!r}")
         if header is None:
             raise ValueError(f"{path}: not a flight bundle (no header line)")
-        return cls(header=header, frames=frames, events=events)
+        return cls(header=header, frames=frames, events=events, states=states)
 
     def summary(self) -> str:
         """Human-readable digest: window, reason, last frame, event tail."""
@@ -314,4 +335,6 @@ class FlightBundle:
         for ev in self.events[-10:]:
             loc = f"step {ev['step']}" if ev.get("step", -1) >= 0 else ""
             lines.append(f"[{ev['event']}] {loc} {ev.get('detail', '')}".rstrip())
+        if self.states:
+            lines.append(f"carried state: {', '.join(sorted(self.states))}")
         return "\n".join(lines)

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.observability.export import to_chrome_trace
+from repro.observability.jsonio import dumps
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observability.fleet.rank import FleetTelemetry
@@ -29,14 +30,21 @@ def merge_traces(fleet: "FleetTelemetry") -> dict:
 
     Rank tracers share a timeline origin (see
     :class:`~repro.observability.fleet.rank.FleetTelemetry`), so timestamps
-    are directly comparable across lanes.  Per-rank metrics snapshots ride
-    along in the trace ``metadata``.
+    are directly comparable across lanes.  Each rank's gauges, histograms
+    and counter samples (queue depth, CFL, anomaly z-scores) are emitted
+    as Chrome-trace counter (``"C"``) events in that rank's lane -- they
+    render as metric lane charts under the spans -- and the raw per-rank
+    metrics snapshots additionally ride along in the trace ``metadata``.
     """
     events: list[dict] = []
     metrics_by_rank: dict[str, dict] = {}
     for rt in fleet:
         sub = to_chrome_trace(
-            rt.tracer, pid=rt.rank, tid=0, process_name=f"rank {rt.rank}"
+            rt.tracer,
+            metrics=rt.metrics if len(rt.metrics) else None,
+            pid=rt.rank,
+            tid=0,
+            process_name=f"rank {rt.rank}",
         )
         events.extend(sub["traceEvents"])
         if len(rt.metrics):
@@ -49,9 +57,9 @@ def merge_traces(fleet: "FleetTelemetry") -> dict:
 
 
 def write_merged_trace(path, fleet: "FleetTelemetry") -> None:
-    """Serialize :func:`merge_traces` to ``path``."""
+    """Serialize :func:`merge_traces` to ``path`` (strict JSON)."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(merge_traces(fleet), fh)
+        fh.write(dumps(merge_traces(fleet)))
 
 
 def merge_trace_files(paths: list[Path | str]) -> dict:

@@ -73,7 +73,11 @@ PHASES: tuple[str, ...] = (
 #: The ``cache.`` family marks operator-cache lifecycle events
 #: (``cache.build``) and the ``autotune.`` family the startup kernel
 #: autotuner (``autotune.sweep``, ``autotune.variant``,
-#: ``autotune.fallback``, ``autotune.precision_fallback``).
+#: ``autotune.fallback``, ``autotune.precision_fallback``).  The
+#: ``profile.`` family carries the continuous profiler's roofline
+#: attribution spans and model-drift events (``profile.attribution``,
+#: ``profile.drift.<series>``); the ``campaign.`` family wraps the
+#: cross-run ledger/observatory (``campaign.append``, ``campaign.report``).
 SPAN_PREFIXES: tuple[str, ...] = (
     "krylov.",
     "resilience.",
@@ -85,6 +89,8 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "chaos.",
     "cache.",
     "autotune.",
+    "profile.",
+    "campaign.",
 )
 
 # -- metric taxonomy ---------------------------------------------------------
@@ -107,6 +113,8 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "chaos.",
     "cache.",
     "autotune.",
+    "profile.",
+    "campaign.",
 )
 
 

@@ -1,0 +1,61 @@
+"""Perfmodel-grounded continuous profiling.
+
+The paper validates its performance narrative by comparing measured
+kernel and phase times against roofline expectations (Sec. 5, Figs. 3-4);
+this package is the same methodology turned into always-on
+instrumentation for the Python solver:
+
+* :mod:`repro.observability.profile.roofline` -- achieved-bandwidth /
+  flop figures for kernel samples and phase measurements, attributed
+  against the :mod:`repro.perfmodel` predictions (measured vs modeled
+  seconds, efficiency, memory/compute/comm bound classification);
+* :mod:`repro.observability.profile.drift` -- the online
+  :class:`ModelDriftDetector` that flags when the measured/modeled ratio
+  of a series leaves a configurable band (``profile.drift.<series>``
+  events);
+* :mod:`repro.observability.profile.profiler` -- the
+  :class:`ContinuousProfiler` fed per step from the simulation's region
+  timers and gather--scatter traffic counters (and per solve from the
+  distributed CG), accumulating attributions and driving the drift
+  detector;
+* :mod:`repro.observability.profile.report` -- text reports: the
+  per-phase measured-vs-modeled table and the roofline table covering
+  every kernel of the committed bench baseline.
+
+Everything is pure arithmetic over numbers the solver already measures:
+no extra timers on the hot path, no wall-clock reads, deterministic given
+the run.
+"""
+
+from repro.observability.profile.drift import DriftEvent, ModelDriftDetector
+from repro.observability.profile.profiler import ContinuousProfiler
+from repro.observability.profile.report import (
+    kernel_roofline_report,
+    profiler_report,
+    render_attribution_table,
+)
+from repro.observability.profile.roofline import (
+    Attribution,
+    KernelSample,
+    attribute_kernel,
+    attribute_phase,
+    calibrate_host_model,
+    classify_kernel_bound,
+    classify_phase_bound,
+)
+
+__all__ = [
+    "KernelSample",
+    "Attribution",
+    "classify_kernel_bound",
+    "classify_phase_bound",
+    "attribute_kernel",
+    "attribute_phase",
+    "calibrate_host_model",
+    "DriftEvent",
+    "ModelDriftDetector",
+    "ContinuousProfiler",
+    "render_attribution_table",
+    "kernel_roofline_report",
+    "profiler_report",
+]

@@ -1,0 +1,157 @@
+"""Online model-drift detection: measured/modeled ratio leaving its band.
+
+The performance model is only useful while it keeps predicting; when the
+measured/modeled ratio of a phase doubles, either the code regressed or
+the model's assumptions (iteration counts, bandwidth efficiency) no
+longer hold -- both are worth an alarm long before a human reads a
+campaign report.  :class:`ModelDriftDetector` watches each series' ratio
+online and flags excursions outside a configurable band.
+
+Two band semantics:
+
+* ``relative=True`` (default): the band applies to the ratio *normalized
+  by the series' own warm-up baseline* (median of the first ``warmup``
+  ratios).  A CPU host is legitimately ~1000x slower than the LUMI model;
+  what matters is that its ratio stays where it started.  This makes the
+  detector machine-independent.
+* ``relative=False``: the band applies to the raw measured/modeled ratio,
+  for runs calibrated against a matching machine model.
+
+Flagged events are mirrored to the tracer (a ``profile.drift.<series>``
+instant plus a counter sample of the ratio, so drift renders as a lane in
+the exported trace) and to the metrics registry.  Pure arithmetic, no
+wall-clock reads: deterministic given the observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.observability.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["DriftEvent", "ModelDriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One flagged excursion of a series' measured/modeled ratio."""
+
+    series: str
+    measured: float
+    modeled: float
+    ratio: float
+    baseline: float
+    normalized: float
+    direction: str  # "above" (slower than band) or "below" (faster)
+    step: int = -1
+
+    def describe(self) -> str:
+        return (
+            f"{self.series}: measured/modeled x{self.ratio:.3g} is "
+            f"x{self.normalized:.2f} {self.direction} its baseline x{self.baseline:.3g}"
+        )
+
+
+class ModelDriftDetector:
+    """Per-series band check on the measured/modeled ratio.
+
+    Parameters
+    ----------
+    low, high:
+        The allowed band.  With ``relative=True`` these bound the ratio
+        divided by its warm-up baseline (0.5/2.0 = "within 2x of where
+        this series started"); with ``relative=False`` they bound the raw
+        ratio.
+    warmup:
+        Observations per series absorbed to establish the baseline before
+        any flagging.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.5,
+        high: float = 2.0,
+        warmup: int = 3,
+        relative: bool = True,
+        tracer: Any = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if not 0.0 < low < high:
+            raise ValueError("need 0 < low < high for the drift band")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.low = low
+        self.high = high
+        self.warmup = warmup
+        self.relative = relative
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        #: Warm-up ratios per series (kept only until the baseline is set).
+        self._warmup_ratios: dict[str, list[float]] = {}
+        #: Established baseline ratio per series (1.0 in absolute mode).
+        self.baselines: dict[str, float] = {}
+        self.events: list[DriftEvent] = []
+
+    def observe(
+        self, series: str, measured: float, modeled: float, step: int = -1
+    ) -> DriftEvent | None:
+        """Feed one (measured, modeled) pair; returns the event if it flags."""
+        if not (
+            math.isfinite(measured)
+            and math.isfinite(modeled)
+            and measured > 0.0
+            and modeled > 0.0
+        ):
+            return None
+        ratio = measured / modeled
+        baseline = self.baselines.get(series)
+        if baseline is None:
+            if not self.relative:
+                baseline = 1.0
+                self.baselines[series] = baseline
+            else:
+                seen = self._warmup_ratios.setdefault(series, [])
+                seen.append(ratio)
+                if len(seen) < self.warmup:
+                    return None
+                baseline = sorted(seen)[len(seen) // 2]
+                self.baselines[series] = baseline
+                del self._warmup_ratios[series]
+                return None  # the baseline-setting observation never flags
+        normalized = ratio / baseline
+        if self.low <= normalized <= self.high:
+            return None
+        event = DriftEvent(
+            series=series,
+            measured=measured,
+            modeled=modeled,
+            ratio=ratio,
+            baseline=baseline,
+            normalized=normalized,
+            direction="above" if normalized > self.high else "below",
+            step=step,
+        )
+        self.events.append(event)
+        self.tracer.event(
+            f"profile.drift.{series}",
+            cat="profile",
+            measured=measured,
+            modeled=modeled,
+            ratio=ratio,
+            normalized=normalized,
+            direction=event.direction,
+            step=step,
+        )
+        self.tracer.sample(f"profile.drift.{series}", normalized)
+        if self.metrics is not None:
+            self.metrics.counter(f"profile.drift.{series}").inc()
+        return event
+
+    def summary(self) -> str:
+        """One line per flagged event (empty string when clean)."""
+        return "\n".join(ev.describe() for ev in self.events)

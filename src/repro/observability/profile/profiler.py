@@ -1,0 +1,277 @@
+"""The continuous profiler: per-step roofline attribution, online.
+
+:class:`ContinuousProfiler` rides the measurements the solver already
+makes -- the per-region wall times of
+:class:`~repro.core.timers.RegionTimers` and the gather--scatter traffic
+counters -- and, every step, compares them against what
+:class:`~repro.perfmodel.workmodel.SEMWorkModel` predicts for that step's
+*actual* iteration counts on the configured machine.  That is the paper's
+measured-vs-modeled methodology (Sec. 5) running alongside the
+simulation instead of after it:
+
+* per-phase measured seconds vs modeled seconds, accumulated into
+  :class:`~repro.observability.profile.roofline.Attribution` records with
+  an efficiency percentage and a mem/compute/comm bound classification;
+* achieved gather--scatter bandwidth from the dssum byte counters;
+* every (measured, modeled) pair fed to a
+  :class:`~repro.observability.profile.drift.ModelDriftDetector`, so a
+  ratio excursion raises ``profile.drift.<phase>`` immediately.
+
+Attach via ``Simulation(..., profiler=ContinuousProfiler(...))``; the
+:class:`~repro.comm.distributed_solver.DistributedConjugateGradient`
+feeds :meth:`observe_distributed_solve` with its collective counts.  The
+per-step cost is a handful of dict lookups and the work model's closed-
+form arithmetic -- no new timers on the hot path, and nothing at all when
+no profiler is attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from repro.observability.profile.drift import ModelDriftDetector
+from repro.observability.profile.roofline import Attribution, classify_phase_bound
+from repro.observability.tracer import NULL_TRACER
+from repro.perfmodel.machine import LUMI, MachineSpec
+from repro.perfmodel.network import NetworkModel
+from repro.perfmodel.workmodel import SEMWorkModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["ContinuousProfiler"]
+
+#: Phases the work model predicts and the region timers measure.
+MODELED_PHASES: tuple[str, ...] = ("advection", "pressure", "velocity", "temperature")
+
+#: Allreduces per distributed-CG solve: two for the initial rho/residual
+#: norm, three per iteration (p.Ap, the residual norm, the new rho) --
+#: the executable counts of ``DistributedConjugateGradient``.
+CG_ALLREDUCES_SETUP = 2
+CG_ALLREDUCES_PER_ITER = 3
+
+
+class ContinuousProfiler:
+    """Accumulates measured-vs-modeled attributions across a run.
+
+    Parameters
+    ----------
+    machine:
+        The :class:`~repro.perfmodel.machine.MachineSpec` supplying the
+        device and network model (default LUMI).  On a CPU host the
+        absolute ratios are large but *stable*; the default drift
+        detector is relative, so only departures from the run's own
+        baseline flag.
+    work:
+        Base :class:`SEMWorkModel`; its iteration counts are overridden
+        per step with the step's measured counts.
+    n_ranks:
+        Rank count assumed for the modeled halo/allreduce costs.
+    drift:
+        A :class:`ModelDriftDetector`; a relative-band default is built
+        when omitted (``drift_band`` sets its low/high).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        work: SEMWorkModel | None = None,
+        n_ranks: int = 1,
+        tracer: Any = None,
+        metrics: "MetricsRegistry | None" = None,
+        drift: ModelDriftDetector | None = None,
+        drift_band: tuple[float, float] = (0.5, 2.0),
+    ) -> None:
+        self.machine = machine if machine is not None else LUMI
+        self.work = work if work is not None else SEMWorkModel()
+        self.n_ranks = max(1, int(n_ranks))
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.net = NetworkModel(self.machine)
+        self.drift = (
+            drift
+            if drift is not None
+            else ModelDriftDetector(
+                low=drift_band[0],
+                high=drift_band[1],
+                tracer=self.tracer,
+                metrics=metrics,
+            )
+        )
+        self.steps = 0
+        #: Accumulated (measured seconds, modeled seconds, count) per series.
+        self._measured: dict[str, float] = {}
+        self._modeled: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        self._bounds: dict[str, str] = {}
+        self._gbps: dict[str, float] = {}
+        # Snapshot of the cumulative sources, so each step sees deltas.
+        self._last_totals: dict[str, float] = {}
+        self._last_gs: tuple[int, int, float] = (0, 0, 0.0)
+
+    # -- accumulation helpers ---------------------------------------------------
+
+    def _record(
+        self,
+        name: str,
+        measured: float,
+        modeled: float,
+        bound: str,
+        step: int,
+        gbps: float | None = None,
+    ) -> None:
+        self._measured[name] = self._measured.get(name, 0.0) + measured
+        self._modeled[name] = self._modeled.get(name, 0.0) + modeled
+        self._counts[name] = self._counts.get(name, 0) + 1
+        self._bounds[name] = bound
+        if gbps is not None:
+            self._gbps[name] = gbps
+        self.drift.observe(name, measured, modeled, step=step)
+        if self.metrics is not None and modeled > 0.0:
+            self.metrics.gauge(f"profile.{name}.ratio").set(measured / modeled)
+
+    # -- per-step hook ----------------------------------------------------------
+
+    def observe_step(self, sim: Any, result: Any, step_seconds: float | None = None) -> None:
+        """Attribute one completed step of ``sim``.
+
+        Duck-typed like the anomaly monitor's ``observe_step``: uses
+        ``sim.timers.totals`` (cumulative region seconds), ``sim.space.gs``
+        (cumulative dssum traffic) and ``sim.space.mesh.nelv``; reads the
+        step's iteration counts from ``result``.
+        """
+        step = int(getattr(result, "step", self.steps + 1))
+        totals = sim.timers.totals
+        phase_measured = {
+            ph: totals.get(ph, 0.0) - self._last_totals.get(ph, 0.0)
+            for ph in MODELED_PHASES
+        }
+        self._last_totals = {ph: totals.get(ph, 0.0) for ph in MODELED_PHASES}
+
+        gs = sim.space.gs
+        gs_calls, gs_bytes, gs_seconds = (
+            gs.calls - self._last_gs[0],
+            gs.bytes_moved - self._last_gs[1],
+            gs.seconds - self._last_gs[2],
+        )
+        self._last_gs = (gs.calls, gs.bytes_moved, gs.seconds)
+
+        wm = dataclasses.replace(
+            self.work,
+            pressure_iterations=max(1, int(getattr(result, "pressure_iterations", 0))),
+            velocity_iterations=max(1, int(getattr(result, "velocity_iterations", 0))),
+            temperature_iterations=max(1, int(getattr(result, "temperature_iterations", 0))),
+        )
+        ne_local = sim.space.mesh.nelv / self.n_ranks
+        costs = wm.step_costs(ne_local, self.machine.device, self.net, self.n_ranks)
+
+        for ph in MODELED_PHASES:
+            measured = phase_measured[ph]
+            if measured <= 0.0:
+                continue
+            modeled = wm.phase_total_us(costs[ph]) * 1e-6
+            self._record(ph, measured, modeled, classify_phase_bound(costs[ph]), step)
+
+        if gs_seconds > 0.0 and gs_bytes > 0:
+            bw = self.machine.device.peak_bandwidth_gbs * 1e9 * wm.bandwidth_efficiency
+            self._record(
+                "gather_scatter",
+                gs_seconds,
+                gs_bytes / bw,
+                "comm",
+                step,
+                gbps=gs_bytes / gs_seconds / 1e9,
+            )
+            if self.metrics is not None:
+                self.metrics.gauge("profile.gs.achieved_gbps").set(
+                    gs_bytes / gs_seconds / 1e9
+                )
+
+        if step_seconds is not None and step_seconds > 0.0:
+            modeled_step = wm.step_time_us(ne_local, self.machine.device, self.net, self.n_ranks) * 1e-6
+            self._record("step", step_seconds, modeled_step, "mem", step)
+            if self.tracer.enabled and modeled_step > 0.0:
+                self.tracer.sample("profile.step.ratio", step_seconds / modeled_step)
+
+        self.steps += 1
+        if self.metrics is not None:
+            self.metrics.counter("profile.steps").inc()
+        if gs_calls and self.metrics is not None:
+            self.metrics.gauge("profile.gs.calls_per_step").set(float(gs_calls))
+
+    # -- distributed hook -------------------------------------------------------
+
+    def observe_distributed_solve(
+        self,
+        iterations: int,
+        allreduce_calls: int,
+        p2p_messages: int = 0,
+        n_ranks: int | None = None,
+        step: int = -1,
+    ) -> None:
+        """Attribute one distributed-CG solve's collective counts.
+
+        The work model budgets a fixed number of allreduces per CG
+        iteration; the simulated world counts the ones that actually
+        happened.  A diverging ratio means the solver's communication
+        structure changed -- extra restarts, a different orthogonalization
+        -- which the wall time alone cannot distinguish from slow silicon.
+        """
+        modeled = float(CG_ALLREDUCES_SETUP + CG_ALLREDUCES_PER_ITER * max(1, iterations))
+        ranks = self.n_ranks if n_ranks is None else n_ranks
+        self._record(
+            "dist_cg.allreduces", float(allreduce_calls), modeled, "comm", step
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("profile.dist_cg.allreduces_per_iter").set(
+                allreduce_calls / max(1, iterations)
+            )
+            if p2p_messages:
+                self.metrics.gauge("profile.dist_cg.p2p_per_rank").set(
+                    p2p_messages / max(1, ranks)
+                )
+
+    # -- results ----------------------------------------------------------------
+
+    def attributions(self) -> list[Attribution]:
+        """Run-averaged attribution per observed series, largest first."""
+        out = []
+        for name in self._measured:
+            n = max(1, self._counts[name])
+            out.append(
+                Attribution(
+                    name=name,
+                    measured_seconds=self._measured[name] / n,
+                    modeled_seconds=self._modeled[name] / n,
+                    bound=self._bounds[name],
+                    achieved_gbps=self._gbps.get(name, 0.0),
+                )
+            )
+        return sorted(out, key=lambda a: -a.measured_seconds)
+
+    def attribution_record(self) -> dict:
+        """JSON-ready summary (the ``profile.attribution`` payload)."""
+        return {
+            "machine": self.machine.name,
+            "n_ranks": self.n_ranks,
+            "steps": self.steps,
+            "series": {
+                a.name: {
+                    "measured_seconds": a.measured_seconds,
+                    "modeled_seconds": a.modeled_seconds,
+                    "ratio": a.ratio if a.modeled_seconds > 0 else None,
+                    "efficiency_pct": a.efficiency,
+                    "bound": a.bound,
+                }
+                for a in self.attributions()
+            },
+            "drift_events": len(self.drift.events),
+        }
+
+    def emit_attribution(self) -> None:
+        """Record the end-of-run summary as a ``profile.attribution`` event."""
+        self.tracer.event("profile.attribution", cat="profile", **{
+            "steps": self.steps, "machine": self.machine.name,
+            "drift_events": len(self.drift.events),
+        })

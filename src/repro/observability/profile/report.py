@@ -1,0 +1,96 @@
+"""Text reports for the continuous profiler.
+
+Two consumers: the run-side report of a :class:`ContinuousProfiler`
+(per-phase measured vs modeled, the Fig. 4 taxonomy with efficiency and
+bound columns) and the bench-side roofline table covering every kernel of
+a ``BENCH_kernels.json`` record -- the acceptance surface of the
+observability ISSUE: each kernel gets an achieved bandwidth, an
+efficiency percentage and a mem/compute bound classification.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.gpu.device import GpuModel
+from repro.observability.profile.roofline import (
+    Attribution,
+    KernelSample,
+    attribute_kernel,
+    calibrate_host_model,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.profile.profiler import ContinuousProfiler
+
+__all__ = ["render_attribution_table", "kernel_roofline_report", "profiler_report"]
+
+
+def render_attribution_table(attributions: list[Attribution]) -> str:
+    """Aligned measured/modeled/efficiency/bound table."""
+    header = (
+        f"  {'series':<18s} {'measured':>12s} {'modeled':>12s} "
+        f"{'ratio':>8s} {'eff %':>7s} {'GB/s':>8s}  bound"
+    )
+    lines = [header, "  " + "-" * (len(header) - 2)]
+    for a in attributions:
+        ratio = f"x{a.ratio:.2f}" if math.isfinite(a.ratio) else "-"
+        gbps = f"{a.achieved_gbps:8.2f}" if a.achieved_gbps else f"{'-':>8s}"
+        lines.append(
+            f"  {a.name:<18s} {a.measured_seconds * 1e3:9.3f} ms "
+            f"{a.modeled_seconds * 1e3:9.3f} ms {ratio:>8s} "
+            f"{a.efficiency:6.1f}% {gbps}  {a.bound}"
+        )
+    return "\n".join(lines)
+
+
+def kernel_roofline_report(bench: dict, device: GpuModel | None = None) -> str:
+    """Roofline table for every kernel of a ``BENCH_kernels.json`` record.
+
+    ``bench`` is the parsed JSON (or just its ``results`` mapping).  The
+    device defaults to a host model calibrated from the record itself
+    (:func:`calibrate_host_model`), so efficiencies read as fractions of
+    this host's demonstrated bandwidth; pass a Table 1 device to compare
+    against the paper's machines instead.
+    """
+    results = bench.get("results", bench)
+    if device is None:
+        device = calibrate_host_model(results)
+    attributions = []
+    for name in sorted(results):
+        rec = results[name]
+        seconds = rec.get("seconds")
+        nbytes = rec.get("bytes")
+        if not seconds or not nbytes:
+            continue
+        sample = KernelSample(
+            name=name,
+            seconds=float(seconds),
+            bytes_moved=float(nbytes),
+            flops=float(rec.get("flops", 0.0)),
+        )
+        attributions.append(attribute_kernel(sample, device))
+    lines = [
+        f"kernel roofline vs {device.name} "
+        f"({device.peak_bandwidth_gbs:.2f} GB/s peak, "
+        f"{device.peak_fp64_tflops * 1e3:.1f} GFLOP/s FP64):",
+        render_attribution_table(sorted(attributions, key=lambda a: -a.measured_seconds)),
+    ]
+    return "\n".join(lines)
+
+
+def profiler_report(profiler: "ContinuousProfiler") -> str:
+    """End-of-run report: attribution table plus the drift tally."""
+    lines = [
+        f"continuous profile: {profiler.steps} steps, modeled as "
+        f"{profiler.machine.name} x{profiler.n_ranks} rank"
+        f"{'s' if profiler.n_ranks != 1 else ''}",
+        render_attribution_table(profiler.attributions()),
+    ]
+    if profiler.drift.events:
+        lines.append(f"model drift: {len(profiler.drift.events)} excursion(s)")
+        lines.append(profiler.drift.summary())
+    else:
+        lines.append("model drift: none (all series inside the band)")
+    return "\n".join(lines)

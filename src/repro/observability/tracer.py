@@ -54,6 +54,8 @@ if TYPE_CHECKING:  # pragma: no cover
             **tags: Any,
         ) -> Any: ...
 
+        def sample(self, name: str, value: float, **tags: Any) -> Any: ...
+
         def add(self, counter: str, value: float = 1.0) -> None: ...
 
         def set_tag(self, key: str, value: Any) -> None: ...
@@ -81,6 +83,10 @@ class Span:
     tags: dict[str, Any] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     instant: bool = False
+    #: Counter samples (``Tracer.sample``) are instants that carry a numeric
+    #: value meant to be rendered as a lane chart (Chrome-trace ``"C"``
+    #: events), not as a point on the span timeline.
+    sample: bool = False
 
     @property
     def duration(self) -> float:
@@ -164,6 +170,33 @@ class Tracer:
         now = self._now()
         sp = Span(
             name=name, start=now, end=now, parent=self.current, tags=tags, instant=True
+        )
+        if sp.parent is not None:
+            sp.parent.children.append(sp)
+        else:
+            self.roots.append(sp)
+        return sp
+
+    def sample(self, name: str, value: float, **tags: Any) -> Span:
+        """Record one timestamped counter sample (a point of a metric lane).
+
+        Samples are how time-varying signals -- CFL, in-situ queue depth,
+        anomaly z-scores -- enter the trace *with their timestamps*, so the
+        exporters can render them as Chrome-trace counter (``"C"``) lanes
+        alongside the span flame chart instead of burying the final value
+        in opaque metadata.  Sampling is cheap (one object per call) and
+        only ever done at phase/step granularity.
+        """
+        now = self._now()
+        sp = Span(
+            name=name,
+            start=now,
+            end=now,
+            parent=self.current,
+            tags=tags,
+            counters={"value": float(value)},
+            instant=True,
+            sample=True,
         )
         if sp.parent is not None:
             sp.parent.children.append(sp)
@@ -278,6 +311,9 @@ class NullTracer:
         yield _NULL_SPAN
 
     def event(self, name: str, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def sample(self, name: str, value: float, **tags: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def record_span(

@@ -33,8 +33,10 @@ __all__ = ["SpanHygieneRule"]
 
 #: Methods whose first argument is a span name.
 _SPAN_METHODS = {"span", "record_span", "event", "region"}
-#: Methods whose first argument is a metric name.
-_METRIC_METHODS = {"counter", "gauge", "histogram"}
+#: Methods whose first argument is a metric name.  ``sample`` is the
+#: tracer's timestamped counter-sample hook: its series land in the same
+#: exported lanes as registry metrics, so the same taxonomy applies.
+_METRIC_METHODS = {"counter", "gauge", "histogram", "sample"}
 
 
 class SpanHygieneRule(Rule):

@@ -1,5 +1,6 @@
 """EWMA/z-score anomaly detection and its mirroring into every sink."""
 
+import json
 import math
 from types import SimpleNamespace
 
@@ -8,6 +9,7 @@ import pytest
 from repro.observability import (
     AnomalyMonitor,
     EwmaDetector,
+    FlightBundle,
     FlightRecorder,
     MetricsRegistry,
     Tracer,
@@ -183,3 +185,79 @@ class TestPipelineIntegration:
                 pipe.put("u", np.zeros(8))
         assert "insitu.queue_depth" in mon.detectors
         assert mon.detectors["insitu.queue_depth"].observations == 6
+
+
+class TestDetectorStateAndReset:
+    """Satellite: EWMA warm-up after reset, state through a flight dump."""
+
+    def test_reset_reenters_warmup_without_false_positives(self):
+        det = EwmaDetector("iters", warmup=6)
+        for _ in range(12):
+            det.observe(5.0)
+        det.reset()
+        # The first post-reset samples swing wildly (a restarted run's
+        # transient); inside the fresh warm-up window none may flag.
+        for v in (40.0, 2.0, 40.0, 2.0, 40.0, 2.0):
+            assert det.observe(v) is None
+        assert det.observations == 6
+
+    def test_monitor_reset_keeps_series_but_rewarns(self):
+        mon = AnomalyMonitor(warmup=4)
+        for _ in range(10):
+            mon.observe("krylov.pressure.iterations", 5.0)
+        mon.reset()
+        assert "krylov.pressure.iterations" in mon.detectors
+        # A value that would have flagged pre-reset is absorbed as warm-up.
+        assert mon.observe("krylov.pressure.iterations", 50.0) is None
+
+    def test_detector_state_round_trip_is_behaviour_identical(self):
+        a = EwmaDetector("s", warmup=4, alpha=0.5)
+        b = EwmaDetector("s", warmup=4, alpha=0.5)
+        for v in (4.0, 5.0, 4.5, 5.5, 4.0, 5.0):
+            a.observe(v)
+            b.observe(v)
+        restored = EwmaDetector.from_state(json.loads(json.dumps(a.state_dict())))
+        # Continue both with the same tail: flags and statistics agree.
+        for v in (5.0, 4.0, 30.0, 5.0):
+            ra, rb = restored.observe(v), b.observe(v)
+            assert (ra is None) == (rb is None)
+        assert restored.mean == pytest.approx(b.mean)
+        assert restored.var == pytest.approx(b.var)
+        assert restored.observations == b.observations
+
+    def test_fresh_detector_state_round_trips_nan_mean(self):
+        det = EwmaDetector("s")
+        # Strict-JSON writers turn the pre-observation NaN mean into null.
+        state = json.loads(json.dumps(det.state_dict(), default=lambda v: None))
+        state["mean"] = None
+        restored = EwmaDetector.from_state(state)
+        assert math.isnan(restored.mean)
+        assert restored.observations == 0
+
+    def test_monitor_state_survives_flight_dump_reload(self, tmp_path):
+        flight = FlightRecorder(capacity=4, out_dir=tmp_path)
+        mon = AnomalyMonitor(warmup=4, flight=flight)
+        for _ in range(10):
+            mon.observe("krylov.pressure.iterations", 5.0)
+        path = flight.dump(reason="statecheck")
+        bundle = FlightBundle.load(path)
+        assert "anomaly_monitor" in bundle.states
+
+        restored = AnomalyMonitor.from_state(bundle.states["anomaly_monitor"])
+        det = restored.detectors["krylov.pressure.iterations"]
+        assert det.observations == 10
+        # Past warm-up: the restored monitor flags a spike immediately --
+        # no false negatives from a cold re-warm-up...
+        assert restored.observe("krylov.pressure.iterations", 25.0) is not None
+        # ...and a second monitor restored the same way but reset first
+        # treats the same spike as warm-up data (no false positive).
+        fresh = AnomalyMonitor.from_state(bundle.states["anomaly_monitor"])
+        fresh.reset()
+        assert fresh.observe("krylov.pressure.iterations", 25.0) is None
+
+    def test_flight_setter_registers_state_provider(self):
+        flight = FlightRecorder(capacity=2)
+        mon = AnomalyMonitor()
+        mon.flight = flight
+        assert "anomaly_monitor" in flight.state_providers
+        assert flight.state_providers["anomaly_monitor"]() == mon.state_dict()

@@ -1,0 +1,239 @@
+"""Tests for the cross-run campaign observatory (ledger, trends, reports)."""
+
+import json
+import math
+
+import pytest
+
+from repro.observability.campaign import (
+    Ledger,
+    RunRecord,
+    analyze_ledger,
+    campaign_report,
+    write_dashboard,
+)
+from repro.observability.campaign.cli import main as campaign_main
+from repro.observability.campaign.ledger import tuning_digest
+from repro.observability.campaign.trend import (
+    analyze_series,
+    changepoint,
+    classify,
+    median,
+    rolling_median,
+)
+
+
+def make_bench(step_ms=20.0, sha="abc1234", ts="2026-08-01T00:00:00+00:00"):
+    """A minimal BENCH-style record pair (kernels + step)."""
+    kernels = {
+        "schema": 1,
+        "tier": "smoke",
+        "environment": {"git_sha": sha, "timestamp": ts},
+        "results": {
+            "ax_helmholtz": {"seconds": 4e-3, "bytes": 8_000_000, "gbps": 2.0},
+        },
+        "noop_tracer_overhead": {"overhead_fraction": 0.01},
+        "profiler_overhead": {"overhead_fraction": 0.015},
+    }
+    step = {
+        "schema": 1,
+        "tier": "smoke",
+        "environment": {"git_sha": sha, "timestamp": ts},
+        "results": {
+            "step": {"seconds": step_ms * 1e-3, "memory": {"peak_rss_bytes": 1}},
+            "pressure": {"seconds": step_ms * 0.5e-3},
+            "velocity": {"seconds": step_ms * 0.2e-3},
+            "temperature": {"seconds": step_ms * 0.1e-3},
+            "advection": {"seconds": step_ms * 0.1e-3},
+            "gather_scatter": {"seconds": step_ms * 0.1e-3, "calls": 40, "bytes": 1000},
+            "world4_dist_cg": {"seconds": 2 * step_ms * 1e-3, "iterations": 25, "ranks": 4},
+        },
+    }
+    return kernels, step
+
+
+def seeded_ledger(path, step_times=(20.0, 21.0, 19.5)):
+    ledger = Ledger(path)
+    for i, ms in enumerate(step_times):
+        kernels, step = make_bench(
+            step_ms=ms, sha=f"sha{i:04d}", ts=f"2026-08-0{i + 1}T00:00:00+00:00"
+        )
+        ledger.append(RunRecord.from_bench(kernels, step))
+    return ledger
+
+
+class TestLedger:
+    def test_missing_ledger_reads_as_empty(self, tmp_path):
+        ledger = Ledger(tmp_path / "nope.jsonl")
+        assert ledger.records() == []
+        assert len(ledger) == 0
+        assert ledger.entry_names() == []
+
+    def test_append_and_round_trip(self, tmp_path):
+        ledger = seeded_ledger(tmp_path / "ledger.jsonl")
+        runs = ledger.records()
+        assert len(runs) == 3
+        assert runs[0].git_sha == "sha0000"
+        assert runs[0].seconds("step") == pytest.approx(20e-3)
+        # The overhead blocks are folded in as entries.
+        assert "noop_tracer_overhead" in runs[0].entries
+        assert "profiler_overhead" in runs[0].entries
+        # run ids derive from sha + injected timestamp -- no clock reads.
+        assert runs[1].run_id.startswith("sha0001-2026-08-02")
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = seeded_ledger(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "run", "run_id": "torn", "entr')  # killed writer
+        assert len(ledger) == 3
+
+    def test_query_filters(self, tmp_path):
+        ledger = seeded_ledger(tmp_path / "ledger.jsonl")
+        assert len(ledger.query(git_sha="sha0001")) == 1
+        assert len(ledger.query(entry="step")) == 3
+        assert len(ledger.query(entry="no_such_entry")) == 0
+        assert [r.git_sha for r in ledger.query(last=2)] == ["sha0001", "sha0002"]
+
+    def test_series_extraction(self, tmp_path):
+        ledger = seeded_ledger(tmp_path / "ledger.jsonl", step_times=(20.0, 30.0))
+        series = ledger.series("step")
+        assert [v for _, v in series] == pytest.approx([20e-3, 30e-3])
+        iters = ledger.series("world4_dist_cg", key="iterations")
+        assert [v for _, v in iters] == [25.0, 25.0]
+
+    def test_non_finite_values_survive_strict_json(self, tmp_path):
+        kernels, step = make_bench()
+        step["results"]["step"]["ratio"] = math.nan
+        step["results"]["step"]["bound"] = math.inf
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        ledger.append(RunRecord.from_bench(kernels, step))
+        # The raw file stays strict JSON (parseable by a plain json.loads):
+        # NaN drops to null, infinities become the jsonio sentinels.
+        raw = (tmp_path / "ledger.jsonl").read_text()
+        parsed = json.loads(raw.splitlines()[0])
+        assert parsed["entries"]["step"]["ratio"] is None
+        assert parsed["entries"]["step"]["bound"] == "Infinity"
+
+    def test_tuning_digest_is_stable_and_order_free(self):
+        assert tuning_digest(None) is None
+        d1 = tuning_digest({"a": 1, "b": 2})
+        d2 = tuning_digest({"b": 2, "a": 1})
+        assert d1 == d2
+        assert len(d1) == 12
+        assert tuning_digest({"a": 3}) != d1
+
+
+class TestTrend:
+    def test_median_and_rolling(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+        assert rolling_median([1.0, 9.0, 2.0, 8.0], window=3) == [1.0, 5.0, 2.0, 8.0]
+
+    def test_changepoint_finds_level_shift(self):
+        flat = [1.0, 1.02, 0.98, 1.01, 0.99, 1.0]
+        assert changepoint(flat) is None
+        stepped = [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        cp = changepoint(stepped)
+        assert cp is not None
+        index, shift = cp
+        assert index == 3
+        assert shift == pytest.approx(1.0)
+        assert changepoint([1.0, 2.0]) is None  # too short
+
+    def test_classification_thresholds(self):
+        assert classify([1.0, 1.0, 1.0]) == "stable"
+        assert classify([1.0, 1.0, 1.5]) == "regression"
+        assert classify([1.0, 1.0, 0.5]) == "improvement"
+        assert classify([1.0, 1.5]) == "stable"  # not enough history
+
+    def test_analyze_ledger_flags_the_regressed_entry(self, tmp_path):
+        ledger = seeded_ledger(
+            tmp_path / "ledger.jsonl", step_times=(20.0, 20.5, 19.8, 30.0)
+        )
+        trends = analyze_ledger(ledger)
+        assert trends["step"].classification == "regression"
+        assert trends["step"].relative_change > 0.15
+        # Entries that did not move stay stable.
+        assert trends["ax_helmholtz"].classification == "stable"
+        assert "regression" in trends["step"].describe()
+
+    def test_analyze_series_reports_changepoint(self):
+        t = analyze_series("e", [1.0, 1.0, 1.0, 3.0, 3.0, 3.0])
+        assert t.changepoint_index == 3
+        assert t.changepoint_shift == pytest.approx(2.0)
+
+
+class TestReportsAndDashboard:
+    def test_campaign_report_has_fig3_and_fig4_views(self, tmp_path):
+        ledger = seeded_ledger(tmp_path / "ledger.jsonl")
+        text = campaign_report(ledger)
+        assert "3 runs" in text
+        assert "Fig. 3 view" in text
+        assert "world4_dist_cg" in text
+        assert "Fig. 4 view" in text
+        for phase in ("pressure", "velocity", "temperature", "advection"):
+            assert phase in text
+        assert "per-entry trends" in text
+
+    def test_empty_ledger_report_degrades_gracefully(self, tmp_path):
+        text = campaign_report(Ledger(tmp_path / "none.jsonl"))
+        assert "empty" in text
+
+    def test_dashboard_is_self_contained_html(self, tmp_path):
+        ledger = seeded_ledger(tmp_path / "ledger.jsonl")
+        out = write_dashboard(ledger, tmp_path / "dash.html")
+        html = out.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html") or "<html" in html
+        assert "<svg" in html  # sparklines are inline
+        assert "world4_dist_cg" in html
+        assert "pressure" in html
+        # Self-contained: no external scripts or stylesheets.
+        assert "src=\"http" not in html and "href=\"http" not in html
+
+
+class TestCli:
+    def test_append_query_report_round_trip(self, tmp_path, capsys):
+        kernels, step = make_bench()
+        kp, sp = tmp_path / "k.json", tmp_path / "s.json"
+        kp.write_text(json.dumps(kernels))
+        sp.write_text(json.dumps(step))
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(3):
+            assert campaign_main(["append", str(kp), str(sp), "--ledger", ledger]) == 0
+        assert campaign_main(["query", "--ledger", ledger, "--entry", "step"]) == 0
+        out = capsys.readouterr().out
+        assert "step=20.000 ms" in out
+        assert campaign_main(["report", "--ledger", ledger]) == 0
+        assert "Fig. 4 view" in capsys.readouterr().out
+
+    def test_trend_gate_exit_code(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        seeded_ledger(ledger_path, step_times=(20.0, 20.2, 19.9, 35.0))
+        assert campaign_main(["trend", "--ledger", str(ledger_path)]) == 0
+        assert (
+            campaign_main(["trend", "--ledger", str(ledger_path), "--fail-on-regression"])
+            == 1
+        )
+        assert "regressed" in capsys.readouterr().out
+
+    def test_append_unreadable_input_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert (
+            campaign_main(["append", str(bad), "--ledger", str(tmp_path / "l.jsonl")]) == 2
+        )
+
+    def test_dashboard_subcommand(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        seeded_ledger(ledger_path)
+        out = tmp_path / "dash.html"
+        assert (
+            campaign_main(
+                ["dashboard", "--ledger", str(ledger_path), "--output", str(out)]
+            )
+            == 0
+        )
+        assert out.exists()

@@ -1,0 +1,208 @@
+"""Tests for the perfmodel-grounded continuous profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import Simulation, rbc_box_case
+from repro.gpu.device import GpuModel
+from repro.observability import MetricsRegistry, Tracer
+from repro.observability.profile import (
+    Attribution,
+    ContinuousProfiler,
+    KernelSample,
+    ModelDriftDetector,
+    kernel_roofline_report,
+    profiler_report,
+)
+from repro.observability.profile.roofline import (
+    attribute_kernel,
+    calibrate_host_model,
+    classify_kernel_bound,
+    classify_phase_bound,
+)
+from repro.perfmodel.machine import LUMI
+from repro.perfmodel.workmodel import PhaseCost
+
+
+DEVICE = GpuModel(
+    name="test-gpu",
+    peak_bandwidth_gbs=1000.0,
+    peak_fp64_tflops=10.0,
+    launch_overhead_us=0.0,
+    submit_delay_us=0.0,
+    min_kernel_us=0.0,
+    requires_priority_for_concurrency=False,
+)
+
+
+class TestRoofline:
+    def test_kernel_sample_achieved_rates(self):
+        s = KernelSample("k", seconds=1e-3, bytes_moved=1e6, flops=2e6)
+        assert s.achieved_gbps == pytest.approx(1.0)
+        assert s.achieved_gflops == pytest.approx(2.0)
+
+    def test_bound_classification_follows_the_ridge(self):
+        # 1 GB at 1000 GB/s = 1 ms bandwidth time; few flops: memory bound.
+        assert classify_kernel_bound(1e9, 1e6, DEVICE) == "mem"
+        # Flop time (1e12 / 10e12 = 100 ms) dwarfs bandwidth time.
+        assert classify_kernel_bound(1e6, 1e12, DEVICE) == "compute"
+
+    def test_attribution_ratio_and_efficiency(self):
+        # 1 GB on a 1000 GB/s device models as exactly 1 ms.
+        sample = KernelSample("k", seconds=2e-3, bytes_moved=1e9)
+        a = attribute_kernel(sample, DEVICE)
+        assert a.modeled_seconds == pytest.approx(1e-3)
+        assert a.ratio == pytest.approx(2.0)
+        assert a.efficiency == pytest.approx(50.0)
+        assert a.bound == "mem"
+
+    def test_attribution_handles_zero_model(self):
+        a = Attribution("x", measured_seconds=1.0, modeled_seconds=0.0, bound="mem")
+        assert np.isinf(a.ratio)
+        assert Attribution("x", 0.0, 1.0, "mem").efficiency == 0.0
+
+    def test_phase_bound_from_cost_decomposition(self):
+        comm = PhaseCost("p", compute_us=10.0, launch_us=1.0, halo_us=8.0, allreduce_us=4.0)
+        assert classify_phase_bound(comm) == "comm"
+        latency = PhaseCost("p", compute_us=2.0, launch_us=9.0, halo_us=1.0, allreduce_us=0.0)
+        assert classify_phase_bound(latency) == "compute"
+        mem = PhaseCost("p", compute_us=20.0, launch_us=1.0, halo_us=1.0, allreduce_us=0.0)
+        assert classify_phase_bound(mem) == "mem"
+
+    def test_calibrated_host_peaks_at_best_kernel(self):
+        results = {
+            "a": {"seconds": 1e-3, "bytes": 2e6, "gbps": 2.0},
+            "b": {"seconds": 1e-3, "bytes": 5e6},  # 5 GB/s, derived
+            "c": {"note": "no timing"},
+        }
+        device = calibrate_host_model(results)
+        assert device.peak_bandwidth_gbs == pytest.approx(5.0)
+        # The best kernel then attributes at exactly 100 % efficiency.
+        a = attribute_kernel(KernelSample("b", 1e-3, 5e6), device)
+        assert a.efficiency == pytest.approx(100.0)
+
+    def test_calibration_requires_bandwidth_figures(self):
+        with pytest.raises(ValueError):
+            calibrate_host_model({"a": {"note": "nothing usable"}})
+
+
+class TestModelDriftDetector:
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            ModelDriftDetector(low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            ModelDriftDetector(warmup=0)
+
+    def test_relative_mode_flags_departure_from_own_baseline(self):
+        det = ModelDriftDetector(low=0.5, high=2.0, warmup=3)
+        # A large but *stable* ratio (CPU host vs GPU model) never flags.
+        for _ in range(6):
+            assert det.observe("pressure", measured=1.0, modeled=1e-3) is None
+        # A 3x excursion from the series' own baseline does.
+        ev = det.observe("pressure", measured=3.0, modeled=1e-3)
+        assert ev is not None
+        assert ev.direction == "above"
+        assert ev.normalized == pytest.approx(3.0)
+        # And a 3x speed-up flags on the other side.
+        ev = det.observe("pressure", measured=0.3, modeled=1e-3)
+        assert ev.direction == "below"
+        assert "pressure" in det.summary()
+
+    def test_absolute_mode_uses_unit_baseline(self):
+        det = ModelDriftDetector(low=0.5, high=2.0, relative=False)
+        assert det.observe("s", measured=1.5, modeled=1.0) is None
+        assert det.observe("s", measured=2.5, modeled=1.0) is not None
+
+    def test_non_finite_and_non_positive_observations_are_skipped(self):
+        det = ModelDriftDetector(relative=False)
+        assert det.observe("s", float("nan"), 1.0) is None
+        assert det.observe("s", 1.0, 0.0) is None
+        assert det.observe("s", -1.0, 1.0) is None
+        assert det.events == []
+
+    def test_flagged_event_reaches_tracer_and_metrics(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        det = ModelDriftDetector(relative=False, tracer=tracer, metrics=metrics)
+        det.observe("step", measured=5.0, modeled=1.0, step=7)
+        names = [s.name for s in tracer.roots]
+        assert "profile.drift.step" in names
+        assert metrics.counter("profile.drift.step").value == 1
+
+
+def _run_profiled(n_steps=3, **kwargs):
+    config = rbc_box_case(1e4, n=(2, 2, 2), lx=4, aspect=1.0, perturbation_amplitude=0.1)
+    profiler = ContinuousProfiler(**kwargs)
+    sim = Simulation(config, profiler=profiler)
+    sim.run(n_steps=n_steps)
+    return sim, profiler
+
+
+class TestContinuousProfiler:
+    def test_observes_every_step_and_phase(self):
+        sim, profiler = _run_profiled(n_steps=3)
+        assert profiler.steps == 3
+        names = {a.name for a in profiler.attributions()}
+        # The Fig. 4 phases, the dssum traffic and the whole step all appear.
+        assert {"pressure", "velocity", "temperature", "advection"} <= names
+        assert "gather_scatter" in names
+        assert "step" in names
+
+    def test_attributions_are_positive_and_ranked(self):
+        _, profiler = _run_profiled(n_steps=2)
+        atts = profiler.attributions()
+        assert all(a.measured_seconds > 0 for a in atts)
+        assert all(a.modeled_seconds > 0 for a in atts)
+        measured = [a.measured_seconds for a in atts]
+        assert measured == sorted(measured, reverse=True)
+        assert all(a.bound in ("mem", "compute", "comm") for a in atts)
+
+    def test_metrics_and_record_round_trip(self):
+        metrics = MetricsRegistry()
+        _, profiler = _run_profiled(n_steps=2, metrics=metrics)
+        assert metrics.counter("profile.steps").value == 2
+        assert metrics.gauge("profile.gs.achieved_gbps").value > 0
+        rec = profiler.attribution_record()
+        assert rec["steps"] == 2
+        assert rec["machine"] == LUMI.name
+        for series in rec["series"].values():
+            assert series["bound"] in ("mem", "compute", "comm")
+            assert series["efficiency_pct"] >= 0.0
+
+    def test_report_covers_all_series(self):
+        _, profiler = _run_profiled(n_steps=2)
+        text = profiler_report(profiler)
+        for name in ("pressure", "gather_scatter", "step", "bound", "eff %"):
+            assert name in text
+        assert "model drift" in text
+
+    def test_distributed_solve_attribution(self):
+        metrics = MetricsRegistry()
+        profiler = ContinuousProfiler(metrics=metrics)
+        # 10 iterations -> 2 + 3*10 = 32 modeled allreduces; feed exactly that.
+        profiler.observe_distributed_solve(10, 32, p2p_messages=24, n_ranks=4)
+        (a,) = profiler.attributions()
+        assert a.name == "dist_cg.allreduces"
+        assert a.ratio == pytest.approx(1.0)
+        assert metrics.gauge("profile.dist_cg.allreduces_per_iter").value == pytest.approx(3.2)
+        assert metrics.gauge("profile.dist_cg.p2p_per_rank").value == pytest.approx(6.0)
+
+
+class TestKernelRooflineReport:
+    def test_covers_every_committed_kernel(self):
+        import json
+        from pathlib import Path
+
+        bench_path = Path(__file__).resolve().parents[2] / "BENCH_kernels.json"
+        bench = json.loads(bench_path.read_text())
+        text = kernel_roofline_report(bench)
+        for name in bench["results"]:
+            assert name in text
+        assert "host (calibrated)" in text
+        assert "eff %" in text
+        assert "mem" in text or "compute" in text
+
+    def test_explicit_device_is_honoured(self):
+        bench = {"results": {"k": {"seconds": 1e-3, "bytes": 1e6}}}
+        text = kernel_roofline_report(bench, device=DEVICE)
+        assert "test-gpu" in text

@@ -1,0 +1,17 @@
+"""Fixture: the campaign-observatory span/metric family is registered.
+
+Every literal name here belongs to the ``campaign.`` prefix family added
+to the phase registry by the cross-run campaign ledger, so the
+span-hygiene rule must produce zero findings for this module.  Linted by
+tests, never imported.
+"""
+
+
+def run(tracer, metrics, n_runs):
+    with tracer.span("campaign.append", runs=n_runs):  # registered campaign.* span
+        pass
+    with tracer.span("campaign.report", last=8):  # registered campaign.* span
+        tracer.event("campaign.changepoint", entry="step")  # registered campaign.* event
+    metrics.counter("campaign.runs").inc()  # registered campaign.* metric
+    metrics.gauge("campaign.regressions").set(float(n_runs))  # registered campaign.* metric
+    metrics.histogram("campaign.relative_change").record(0.02)  # registered campaign.* metric

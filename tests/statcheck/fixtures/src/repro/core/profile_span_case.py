@@ -1,0 +1,17 @@
+"""Fixture: the continuous-profiler span/metric family is registered.
+
+Every literal name here belongs to the ``profile.`` prefix family added
+to the phase registry by the perfmodel-grounded profiler, so the
+span-hygiene rule must produce zero findings for this module.  Linted by
+tests, never imported.
+"""
+
+
+def run(tracer, metrics, ratio):
+    tracer.event("profile.drift.step", ratio=ratio)  # registered profile.* event
+    tracer.sample("profile.step.ratio", ratio)  # registered profile.* counter series
+    tracer.event("profile.attribution", entries=7)  # registered profile.* event
+    metrics.counter("profile.steps").inc()  # registered profile.* metric
+    metrics.counter("profile.drift.pressure").inc()  # registered profile.* metric
+    metrics.gauge("profile.gs.achieved_gbps").set(1.3)  # registered profile.* metric
+    metrics.gauge("profile.pressure.ratio").set(ratio)  # registered profile.* metric

@@ -82,6 +82,23 @@ class TestSpanHygiene:
         )
         assert findings == []
 
+    def test_profile_family_is_registered(self):
+        # The continuous profiler's drift events and roofline metrics
+        # (profile.*) are a registered family: a module using only them
+        # is clean.
+        findings = run_rule(
+            "span-hygiene", FIXTURES / "src/repro/core/profile_span_case.py"
+        )
+        assert findings == []
+
+    def test_campaign_family_is_registered(self):
+        # The campaign observatory's spans and metrics (campaign.*) are a
+        # registered family: a module using only them is clean.
+        findings = run_rule(
+            "span-hygiene", FIXTURES / "src/repro/core/campaign_span_case.py"
+        )
+        assert findings == []
+
 
 class TestResourceDiscipline:
     def test_flags_raw_open_and_bare_except(self):
