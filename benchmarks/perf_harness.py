@@ -60,6 +60,7 @@ __all__ = [
     "step_benchmark",
     "pressure_fastpath_benchmark",
     "world_step_benchmark",
+    "scaling_campaign_benchmark",
     "noop_tracer_overhead",
     "profiler_overhead",
     "measure_memory",
@@ -431,6 +432,36 @@ def world_step_benchmark(
     }
 
 
+def scaling_campaign_benchmark(n_ranks: int = 4096, repeats: int = 3) -> dict[str, dict]:
+    """Engine speed of the simulated-exascale scaling campaign.
+
+    Times one full :meth:`~repro.comm.campaign.ScalingCampaign.run_point`
+    at 4096 simulated ranks -- partition, batched gather--scatter setup,
+    staged-round construction and DES pricing -- i.e. the wall-clock cost
+    of producing one Fig. 3 point.  This is the tentpole claim of the
+    batched comm engine (O(10^3..10^4) ranks in seconds), so it is gated
+    like any other hot path; the *simulated* step time itself is
+    deterministic and lives in ``BENCH_scaling.json``.
+    """
+    from repro.comm.campaign import ScalingCampaign
+    from repro.perfmodel.machine import LUMI
+
+    campaign = ScalingCampaign(LUMI)
+    point = campaign.run_point(n_ranks)
+    seconds = _best_seconds(
+        lambda: campaign.run_point(n_ranks), repeats=repeats, min_time=0.0
+    )
+    return {
+        f"scaling_{n_ranks}": {
+            "seconds": seconds,
+            "ranks": n_ranks,
+            "simulated_step_seconds": point.step_us * 1e-6,
+            "gs_topology_speedup": point.gs_topology_speedup,
+            "memory": measure_memory(lambda: campaign.run_point(n_ranks)),
+        }
+    }
+
+
 def write_tuning_artifacts(
     out_dir: Path, shapes: tuple[tuple[int, int], ...] = ((27, 5), (216, 7))
 ) -> tuple[Path, Path]:
@@ -517,6 +548,7 @@ def run_harness(
     step_results, fastpath = pressure_fastpath_benchmark(n_steps=n_steps, warmup=warmup)
     step_results["pressure_fastpath"] = fastpath
     step_results.update(world_step_benchmark(repeats=max(2, repeats - 2)))
+    step_results.update(scaling_campaign_benchmark(repeats=max(2, repeats - 2)))
     step = {
         "schema": SCHEMA_VERSION,
         "tier": "smoke",

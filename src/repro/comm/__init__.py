@@ -8,11 +8,22 @@ the network).  This package reproduces that structure in one process:
   with collective operations over per-rank data and full traffic
   accounting (message counts, bytes, reduction counts), which feeds the
   network side of the performance model;
+* :class:`~repro.comm.batched.BatchedWorld` -- the same world with
+  per-rank state as stacked arrays and whole exchange rounds accounted as
+  batched index operations, scaling campaigns to 10^3..10^4 simulated
+  ranks;
 * :mod:`repro.comm.partition` -- element partitioning (linear and
-  recursive coordinate bisection) with halo-quality metrics;
+  recursive coordinate bisection) with halo-quality metrics and
+  vectorized rank-neighbor discovery;
 * :class:`~repro.comm.distributed_gs.DistributedGatherScatter` -- the
   two-phase gather--scatter over a partition, verified against the
-  single-rank operator.
+  single-rank operator;
+* :class:`~repro.comm.topology.BatchedGatherScatter` -- its rank-batched
+  refactor plus the paper's topology-aware staged exchange
+  (:class:`~repro.comm.topology.NodeTopology`), bit-identical to flat;
+* :class:`~repro.comm.costmodel.CommCostModel` -- DES-style alpha-beta
+  pricing of logged exchange rounds, the "measured" side of the Fig. 3
+  scaling campaign (:mod:`repro.comm.campaign`).
 """
 
 from repro.comm.reliable import (
@@ -22,20 +33,36 @@ from repro.comm.reliable import (
     payload_checksum,
 )
 from repro.comm.simworld import SimWorld, TrafficStats
-from repro.comm.partition import linear_partition, rcb_partition, partition_quality
+from repro.comm.batched import BatchedWorld
+from repro.comm.costmodel import CommCostModel, CommRound
+from repro.comm.partition import (
+    linear_partition,
+    partition_quality,
+    rank_neighbors,
+    rcb_from_centroids,
+    rcb_partition,
+)
 from repro.comm.distributed_gs import DistributedGatherScatter
 from repro.comm.distributed_solver import DistributedConjugateGradient
+from repro.comm.topology import BatchedGatherScatter, NodeTopology
 
 __all__ = [
     "SimWorld",
     "TrafficStats",
+    "BatchedWorld",
+    "CommRound",
+    "CommCostModel",
     "RetryPolicy",
     "CommTimeoutError",
     "CollectiveIntegrityError",
     "payload_checksum",
     "linear_partition",
     "rcb_partition",
+    "rcb_from_centroids",
     "partition_quality",
+    "rank_neighbors",
     "DistributedGatherScatter",
     "DistributedConjugateGradient",
+    "BatchedGatherScatter",
+    "NodeTopology",
 ]

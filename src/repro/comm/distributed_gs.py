@@ -68,8 +68,11 @@ class DistributedGatherScatter:
         ids = np.asarray(global_ids, dtype=np.int64).reshape(nelv, pts)
         self.n_global = int(ids.max()) + 1
 
-        # Per-rank element lists and local numbering.
-        self.rank_elements = [np.flatnonzero(self.owner == r) for r in range(world.size)]
+        # Per-rank element lists (one stable sort instead of an O(ranks *
+        # nelv) scan of `owner == r` per rank) and local numbering.
+        elem_order = np.argsort(self.owner, kind="stable")
+        elem_counts = np.bincount(self.owner, minlength=world.size)
+        self.rank_elements = np.split(elem_order, np.cumsum(elem_counts)[:-1])
         self.local_ids: list[np.ndarray] = []
         self.local_unique: list[np.ndarray] = []  # local slot -> global id
         for r in range(world.size):
@@ -79,28 +82,45 @@ class DistributedGatherScatter:
             self.local_ids.append(inv)
 
         # Which global ids are shared between ranks, and who holds them.
-        holders: dict[int, list[int]] = {}
-        for r in range(world.size):
-            for g in self.local_unique[r]:
-                holders.setdefault(int(g), []).append(r)
-        self.shared_ids = np.array(
-            sorted(g for g, hs in holders.items() if len(hs) > 1), dtype=np.int64
+        # local_unique[r] is already deduplicated and sorted per rank, so
+        # concatenating the per-rank id lists and sorting by (gid, rank)
+        # yields each id's holder list as one contiguous ascending run --
+        # no per-id Python dict churn.
+        pair_gid = np.concatenate(self.local_unique) if world.size else np.zeros(0, np.int64)
+        pair_rank = np.repeat(
+            np.arange(world.size, dtype=np.int64),
+            [len(u) for u in self.local_unique],
         )
-        self.shared_owner = {
-            int(g): holders[int(g)][0] for g in self.shared_ids
-        }  # lowest rank owns
-        self.shared_holders = {int(g): holders[int(g)] for g in self.shared_ids}
-
-        # Per-rank index of its shared slots (positions into local_unique).
-        self.rank_shared_slots: list[np.ndarray] = []
-        shared_set = set(int(g) for g in self.shared_ids)
-        for r in range(world.size):
-            mask = np.fromiter(
-                (int(g) in shared_set for g in self.local_unique[r]),
-                count=len(self.local_unique[r]),
-                dtype=bool,
+        order = np.lexsort((pair_rank, pair_gid))
+        pair_gid, pair_rank = pair_gid[order], pair_rank[order]
+        new_gid = np.empty(pair_gid.size, dtype=bool)
+        if pair_gid.size:
+            new_gid[0] = True
+            new_gid[1:] = pair_gid[1:] != pair_gid[:-1]
+        run_starts = np.flatnonzero(new_gid)
+        run_lengths = np.diff(np.append(run_starts, pair_gid.size))
+        shared_run = run_lengths > 1
+        self.shared_ids = pair_gid[run_starts[shared_run]]
+        # Lowest-rank holder owns; runs are rank-ascending, so that is the
+        # run head.  The holder lists stay dicts for API compatibility.
+        self.shared_owner = dict(
+            zip(
+                self.shared_ids.tolist(),
+                pair_rank[run_starts[shared_run]].tolist(),
             )
-            self.rank_shared_slots.append(np.flatnonzero(mask))
+        )
+        holder_runs = np.split(pair_rank, run_starts[1:])
+        self.shared_holders = {
+            int(g): holder_runs[i].tolist()
+            for g, i in zip(self.shared_ids, np.flatnonzero(shared_run))
+        }
+
+        # Per-rank index of its shared slots (positions into local_unique):
+        # both sides are sorted-unique, so membership is a binary search.
+        self.rank_shared_slots = [
+            np.flatnonzero(np.isin(self.local_unique[r], self.shared_ids, assume_unique=True))
+            for r in range(world.size)
+        ]
 
         self.n_shared = len(self.shared_ids)
 

@@ -7,9 +7,18 @@ Two strategies, both deterministic:
 * recursive coordinate bisection (RCB) of element centroids -- a classic
   geometric partitioner producing compact subdomains and a good stand-in
   for the graph partitioning production meshes receive offline.
+  :func:`rcb_from_centroids` exposes the same split on raw centroid
+  arrays, which is how the scaling campaign partitions its synthetic
+  structured meshes without building a :class:`~repro.sem.mesh.HexMesh`.
 
 ``partition_quality`` reports balance and the shared-node halo sizes that
-drive the gather--scatter communication volume in the performance model.
+drive the gather--scatter communication volume in the performance model,
+and ``rank_neighbors`` the rank adjacency the topology-aware exchange
+stages over.  Both are fully vectorized: the per-shared-node Python scan
+the original implementation carried was O(nodes) group objects -- at the
+campaign's 10^3..10^4 ranks (hundreds of thousands of shared nodes) it
+dominated setup, so shared-node counting now runs on sorted (gid, rank)
+runs with ``reduceat``-style boundary arithmetic.
 """
 
 from __future__ import annotations
@@ -18,7 +27,13 @@ import numpy as np
 
 from repro.sem.mesh import HexMesh
 
-__all__ = ["linear_partition", "rcb_partition", "partition_quality"]
+__all__ = [
+    "linear_partition",
+    "rcb_partition",
+    "rcb_from_centroids",
+    "partition_quality",
+    "rank_neighbors",
+]
 
 
 def linear_partition(nelv: int, nranks: int) -> np.ndarray:
@@ -44,12 +59,20 @@ def rcb_partition(mesh: HexMesh, nranks: int) -> np.ndarray:
     number of ranks assigned to each side (handles non-power-of-two
     counts).
     """
-    if nranks < 1:
-        raise ValueError("nranks must be >= 1")
     if nranks > mesh.nelv:
         raise ValueError(f"more ranks ({nranks}) than elements ({mesh.nelv})")
-    cent = _centroids(mesh)
-    owner = np.zeros(mesh.nelv, dtype=np.int64)
+    return rcb_from_centroids(_centroids(mesh), nranks)
+
+
+def rcb_from_centroids(cent: np.ndarray, nranks: int) -> np.ndarray:
+    """RCB on a raw ``(nelv, ndim)`` centroid array; returns rank per element."""
+    cent = np.asarray(cent, dtype=np.float64)
+    nelv = cent.shape[0]
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if nranks > nelv:
+        raise ValueError(f"more ranks ({nranks}) than elements ({nelv})")
+    owner = np.zeros(nelv, dtype=np.int64)
 
     def split(idx: np.ndarray, ranks: range) -> None:
         if len(ranks) == 1:
@@ -64,8 +87,39 @@ def rcb_partition(mesh: HexMesh, nranks: int) -> np.ndarray:
         split(order[:n_left], range(ranks.start, ranks.start + n_left_ranks))
         split(order[n_left:], range(ranks.start + n_left_ranks, ranks.stop))
 
-    split(np.arange(mesh.nelv), range(nranks))
+    split(np.arange(nelv), range(nranks))
     return owner
+
+
+def _shared_node_runs(
+    owner: np.ndarray, global_ids: np.ndarray, points_per_element: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct (gid, rank) holder pairs and each gid's holder count.
+
+    Sorts every node copy by (gid, rank) once, collapses equal pairs, and
+    returns ``(pair_gid_run_id, pair_rank, holders_per_gid)`` -- the
+    vectorized core shared by :func:`partition_quality` and
+    :func:`rank_neighbors`.
+    """
+    flat = np.asarray(global_ids, dtype=np.int64).reshape(-1)
+    node_rank = np.repeat(np.asarray(owner, dtype=np.int64), points_per_element)
+    order = np.lexsort((node_rank, flat))
+    gid_sorted = flat[order]
+    rank_sorted = node_rank[order]
+    new_pair = np.empty(flat.size, dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = (gid_sorted[1:] != gid_sorted[:-1]) | (
+        rank_sorted[1:] != rank_sorted[:-1]
+    )
+    pair_starts = np.flatnonzero(new_pair)
+    pair_gid = gid_sorted[pair_starts]
+    pair_rank = rank_sorted[pair_starts]
+    new_gid = np.empty(pair_gid.size, dtype=bool)
+    new_gid[0] = True
+    new_gid[1:] = pair_gid[1:] != pair_gid[:-1]
+    gid_run = np.cumsum(new_gid) - 1
+    holders_per_gid = np.bincount(gid_run)
+    return gid_run, pair_rank, holders_per_gid
 
 
 def partition_quality(
@@ -80,24 +134,15 @@ def partition_quality(
     """
     nranks = int(owner.max()) + 1
     counts = np.bincount(owner, minlength=nranks)
-    ids = global_ids.reshape(nelv, points_per_element)
-    # rank of each node copy.
-    node_rank = np.repeat(owner, points_per_element)
-    flat = global_ids.reshape(-1)
-    # For each unique id: how many distinct ranks hold a copy?
-    order = np.argsort(flat, kind="stable")
-    sorted_ids = flat[order]
-    sorted_rank = node_rank[order]
-    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
-    groups_ids = np.split(sorted_rank, boundaries)
-    shared_per_rank = np.zeros(nranks)
-    n_shared_global = 0
-    for g in groups_ids:
-        ranks = np.unique(g)
-        if len(ranks) > 1:
-            n_shared_global += 1
-            shared_per_rank[ranks] += 1
-    del ids
+    gid_run, pair_rank, holders_per_gid = _shared_node_runs(
+        owner, global_ids, points_per_element
+    )
+    shared_gid = holders_per_gid > 1
+    n_shared_global = int(shared_gid.sum())
+    shared_pairs = shared_gid[gid_run]
+    shared_per_rank = np.bincount(
+        pair_rank[shared_pairs], minlength=nranks
+    ).astype(np.float64)
     return {
         "n_ranks": float(nranks),
         "imbalance": float(counts.max() / counts.mean()),
@@ -105,3 +150,45 @@ def partition_quality(
         "max_shared_per_rank": float(shared_per_rank.max()),
         "avg_shared_per_rank": float(shared_per_rank.mean()),
     }
+
+
+def rank_neighbors(
+    owner: np.ndarray, global_ids: np.ndarray, points_per_element: int
+) -> list[np.ndarray]:
+    """Per-rank sorted neighbor ranks (ranks sharing at least one node).
+
+    The halo adjacency the gather--scatter exchanges over, discovered in
+    one vectorized pass: for each shared gid, every ordered pair of its
+    holder ranks is a directed neighbor edge.  Holder counts per node are
+    tiny (a hex vertex touches <= 8 elements), so the pair expansion is
+    O(shared pairs), never O(ranks^2).
+    """
+    nranks = int(owner.max()) + 1
+    gid_run, pair_rank, holders_per_gid = _shared_node_runs(
+        owner, global_ids, points_per_element
+    )
+    shared = holders_per_gid[gid_run] > 1
+    ranks = pair_rank[shared]
+    if ranks.size == 0:
+        return [np.zeros(0, dtype=np.int64) for _ in range(nranks)]
+    # All ordered holder pairs per shared gid, by offset arithmetic: each
+    # holder entry e (run start s, run length h) pairs with the h entries
+    # of its run, so pair p of entry e maps to dst s + (p - first pair of e).
+    run = gid_run[shared]
+    boundary = np.empty(run.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = run[1:] != run[:-1]
+    run_of_elem = np.cumsum(boundary) - 1
+    lengths = np.bincount(run_of_elem)
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    h_of_elem = lengths[run_of_elem]
+    pair_elem = np.repeat(np.arange(ranks.size), h_of_elem)
+    pair_start = np.concatenate(([0], np.cumsum(h_of_elem)[:-1]))
+    local_j = np.arange(pair_elem.size) - pair_start[pair_elem]
+    dst_idx = starts[run_of_elem[pair_elem]] + local_j
+    keep = pair_elem != dst_idx
+    key = np.unique(ranks[pair_elem[keep]] * np.int64(nranks) + ranks[dst_idx[keep]])
+    src_of_key = key // nranks
+    dst_of_key = key % nranks
+    split_at = np.searchsorted(src_of_key, np.arange(1, nranks))
+    return list(np.split(dst_of_key, split_at))

@@ -92,6 +92,40 @@ class TrafficStats:
         self.recv_messages[dst] = self.recv_messages.get(dst, 0) + 1
         self.recv_bytes[dst] = self.recv_bytes.get(dst, 0) + nbytes
 
+    def record_p2p_batch(
+        self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray
+    ) -> None:
+        """Count a whole round of point-to-point messages at once.
+
+        Vectorized equivalent of calling :meth:`record_p2p` per message
+        (self-messages ``src == dst`` are skipped, matching
+        :meth:`SimWorld.exchange`); byte weights go through ``bincount``,
+        which is exact for integer byte counts below 2**53.  This is what
+        keeps per-rank accounting O(messages) instead of O(ranks^2) dict
+        churn when a :class:`~repro.comm.batched.BatchedWorld` replays a
+        10^4-rank exchange round.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        wire = src != dst
+        if not wire.all():
+            src, dst, nbytes = src[wire], dst[wire], nbytes[wire]
+        if src.size == 0:
+            return
+        self.p2p_messages += int(src.size)
+        self.p2p_bytes += int(nbytes.sum())
+        for ranks, counts, messages, byte_totals in (
+            (src, nbytes, self.sent_messages, self.sent_bytes),
+            (dst, nbytes, self.recv_messages, self.recv_bytes),
+        ):
+            n_msg = np.bincount(ranks)
+            n_bytes = np.bincount(ranks, weights=counts)
+            for r in np.flatnonzero(n_msg):
+                r = int(r)
+                messages[r] = messages.get(r, 0) + int(n_msg[r])
+                byte_totals[r] = byte_totals.get(r, 0) + int(n_bytes[r])
+
     def rank_totals(self, rank: int) -> dict[str, int]:
         """One rank's traffic: sent/received messages and bytes."""
         return {

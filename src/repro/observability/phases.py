@@ -78,6 +78,10 @@ PHASES: tuple[str, ...] = (
 #: attribution spans and model-drift events (``profile.attribution``,
 #: ``profile.drift.<series>``); the ``campaign.`` family wraps the
 #: cross-run ledger/observatory (``campaign.append``, ``campaign.report``).
+#: The ``topo.`` family carries the topology-aware gather--scatter's
+#: staged-exchange spans and per-rank DES timings (``topo.gs``,
+#: ``topo.compute``), and the ``scaling.`` family wraps the simulated
+#: strong-scaling campaign (``scaling.campaign``, ``scaling.point``).
 SPAN_PREFIXES: tuple[str, ...] = (
     "krylov.",
     "resilience.",
@@ -91,6 +95,8 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "autotune.",
     "profile.",
     "campaign.",
+    "topo.",
+    "scaling.",
 )
 
 # -- metric taxonomy ---------------------------------------------------------
@@ -115,6 +121,8 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "autotune.",
     "profile.",
     "campaign.",
+    "topo.",
+    "scaling.",
 )
 
 

@@ -157,19 +157,33 @@ class ChaosHarness:
 
     # -- baselines ---------------------------------------------------------------
 
-    def _baseline_nu(self, nranks: int, n_steps: int) -> float:
+    def _baseline_nu(self, scenario: ChaosScenario, n_steps: int) -> float:
         """Fault-free final nu for a configuration (cached)."""
-        key = (nranks, n_steps)
+        key = (
+            scenario.nranks,
+            n_steps,
+            scenario.world_kind,
+            scenario.shape,
+            scenario.order,
+        )
         if key not in self._baselines:
-            w = self._workload(nranks=nranks)
+            w = self._workload(scenario=scenario, nranks=scenario.nranks)
             self._baselines[key] = w.run(n_steps).nu_final
         return self._baselines[key]
 
-    def _workload(self, nranks: int, **kwargs: Any) -> DistributedThermalWorkload:
+    def _workload(
+        self, nranks: int, scenario: ChaosScenario | None = None, **kwargs: Any
+    ) -> DistributedThermalWorkload:
+        shape, order, world_kind = self.shape, self.order, "object"
+        if scenario is not None:
+            shape = scenario.shape if scenario.shape is not None else shape
+            order = scenario.order if scenario.order is not None else order
+            world_kind = scenario.world_kind
         return DistributedThermalWorkload(
-            shape=self.shape,
-            order=self.order,
+            shape=shape,
+            order=order,
             nranks=nranks,
+            world_kind=world_kind,
             checkpoint_interval=self.checkpoint_interval,
             seed=self.seed,
             **kwargs,
@@ -180,7 +194,7 @@ class ChaosHarness:
     def run_scenario(self, scenario: ChaosScenario, index: int = 0) -> ScenarioResult:
         """Run one scenario against its fault-free baseline."""
         n_steps = scenario.n_steps
-        nu_free = self._baseline_nu(scenario.nranks, n_steps)
+        nu_free = self._baseline_nu(scenario, n_steps)
         injector = FaultInjector(
             seed=self.seed + index,
             schedule=list(scenario.schedule),
@@ -200,6 +214,7 @@ class ChaosHarness:
         )
         workload = self._workload(
             nranks=scenario.nranks,
+            scenario=scenario,
             store=store,
             recovery=recovery,
             fault_injector=injector,

@@ -44,6 +44,15 @@ class ChaosScenario:
     nranks, n_steps:
         World size and steps of the run (small on purpose: a campaign is
         dozens of runs).
+    world_kind:
+        ``"object"`` runs on the per-rank-object
+        :class:`~repro.comm.simworld.SimWorld`; ``"batched"`` runs on the
+        vectorized :class:`~repro.comm.batched.BatchedWorld`, proving the
+        recovery machinery is world-implementation agnostic at widths the
+        object world cannot reach.
+    shape, order:
+        Workload mesh overrides (``None`` keeps the harness defaults);
+        wide-world scenarios size the mesh to the rank count.
     retry:
         Arm the hardened p2p channel (CRC + retransmission).  Required
         whenever message faults are injected -- without it a dropped
@@ -67,6 +76,9 @@ class ChaosScenario:
     policy: str = "warm_replace"
     nranks: int = 4
     n_steps: int = 6
+    world_kind: str = "object"
+    shape: "tuple[int, int, int] | None" = None
+    order: "int | None" = None
     retry: bool = True
     verify_collectives: bool = False
     max_retries: int = 6
@@ -86,11 +98,12 @@ class ChaosScenario:
 
 
 def default_campaign() -> list[ChaosScenario]:
-    """The committed CI campaign: 12 survivable scenarios.
+    """The committed CI campaign: 13 survivable scenarios.
 
     Coverage matrix (the four required fault families, each hit by
-    several scenarios): rank kill (1-5, 12), message drop (6, 8, 12),
-    message delay (7, 12), SDC bit flip (9-11).
+    several scenarios): rank kill (1-5, 12, 13), message drop (6, 8, 12),
+    message delay (7, 12), SDC bit flip (9-11).  Scenario 13 runs the
+    kill-and-recover path on a 256-rank :class:`BatchedWorld`.
     """
     return [
         ChaosScenario(
@@ -198,5 +211,19 @@ def default_campaign() -> list[ChaosScenario]:
             policy="shrink",
             expect_recoveries=1,
             tags=("rank_kill", "message_drop", "message_delay", "shrink"),
+        ),
+        ChaosScenario(
+            name="kill-rank-batched-256",
+            description="rank 37 dies on a 256-rank BatchedWorld (one element "
+            "per rank); warm replacement at simulated-exascale width",
+            schedule=(Fault(kind="rank_failure", rank=37, at_call=12, op="allreduce"),),
+            policy="warm_replace",
+            nranks=256,
+            n_steps=2,
+            world_kind="batched",
+            shape=(8, 8, 4),
+            order=2,
+            expect_recoveries=1,
+            tags=("rank_kill", "batched"),
         ),
     ]

@@ -109,6 +109,11 @@ class DistributedThermalWorkload:
         Passed to every :class:`~repro.comm.simworld.SimWorld` this
         workload builds (the injector is *kept* across rebuilds so global
         fault schedules keep counting).
+    world_kind:
+        ``"object"`` (default) builds :class:`~repro.comm.simworld.SimWorld`
+        worlds; ``"batched"`` builds
+        :class:`~repro.comm.batched.BatchedWorld` ones, so wide-world
+        chaos scenarios exercise recovery on the vectorized engine.
     partition:
         ``"rcb"`` or ``"linear"`` element partitioning, reapplied on
         every world rebuild.
@@ -134,6 +139,7 @@ class DistributedThermalWorkload:
         fault_injector: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         verify_collectives: bool = False,
+        world_kind: str = "object",
         partition: str = "rcb",
         fleet: Any = None,
         flight: Any = None,
@@ -146,6 +152,9 @@ class DistributedThermalWorkload:
             raise ValueError("checkpoint_interval must be >= 1")
         if partition not in ("rcb", "linear"):
             raise ValueError(f"unknown partition {partition!r}")
+        if world_kind not in ("object", "batched"):
+            raise ValueError(f"unknown world_kind {world_kind!r}")
+        self.world_kind = world_kind
         self.space = FunctionSpace(box_mesh(shape), order)
         self.kappa = kappa
         self.dt = dt
@@ -194,7 +203,13 @@ class DistributedThermalWorkload:
         old_world = getattr(self, "world", None)
         if old_world is not None:
             self._prior_stats.absorb(old_world.stats)
-        self.world = SimWorld(
+        if self.world_kind == "batched":
+            from repro.comm.batched import BatchedWorld
+
+            world_cls: type[SimWorld] = BatchedWorld
+        else:
+            world_cls = SimWorld
+        self.world = world_cls(
             nranks,
             fault_injector=self.fault_injector,
             retry=self.retry,

@@ -42,7 +42,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["HotLoopAllocationAnalyzer"]
 
 #: Modules (exact) and packages (prefix) forming the hot scope.
-HOT_MODULES = {"repro.sem.operators", "repro.sem.coef", "repro.comm.distributed_solver"}
+HOT_MODULES = {
+    "repro.sem.operators",
+    "repro.sem.coef",
+    "repro.comm.distributed_solver",
+    # The batched exchange path runs once per simulated collective round at
+    # O(10^4) ranks; its fill loops must stay allocator-free.
+    "repro.comm.batched",
+}
 HOT_PACKAGES = ("precond", "solvers")
 
 #: np.* / numpy.* callables that allocate a fresh array.

@@ -1,0 +1,272 @@
+"""Property suite: the batched comm engine is indistinguishable from the legacy one.
+
+The tentpole contract of :class:`~repro.comm.batched.BatchedWorld` /
+:class:`~repro.comm.topology.BatchedGatherScatter` is *behavioral
+bit-identity*: under the same seed and inputs, every collective result,
+every traffic counter and every injected-fault outcome must match the
+per-rank-object :class:`~repro.comm.simworld.SimWorld` path exactly --
+and the topology-staged gather--scatter must equal the flat one to 0 ulp.
+Hypothesis drives random meshes, partitions, payloads and fault seeds
+through both engines and compares bits, not tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    BatchedGatherScatter,
+    BatchedWorld,
+    DistributedGatherScatter,
+    NodeTopology,
+    RetryPolicy,
+    SimWorld,
+)
+from repro.comm.campaign import structured_global_ids
+from repro.resilience.faults import FaultInjector
+
+# -- strategies ------------------------------------------------------------------
+
+world_sizes = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+ops = st.sampled_from(["sum", "max", "min"])
+
+mesh_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def _mesh_and_partition(shape, lx, nranks, seed):
+    """A structured mesh with a random (every-rank-used) partition."""
+    ids, _cent = structured_global_ids(shape, lx)
+    nelv = int(np.prod(shape))
+    rng = np.random.default_rng(seed)
+    owner = rng.integers(0, nranks, size=nelv)
+    # Guarantee every rank owns at least one element when possible, so
+    # the partition exercises the whole world.
+    for r in range(min(nranks, nelv)):
+        owner[r] = r
+    return ids, owner, (nelv, lx, lx, lx)
+
+
+def _paired_worlds(nranks, **kwargs):
+    return SimWorld(nranks, **kwargs), BatchedWorld(nranks, **kwargs)
+
+
+def _random_sends(nranks, rng, max_msgs=8):
+    sends = {}
+    for _ in range(int(rng.integers(1, max_msgs + 1))):
+        src, dst = int(rng.integers(nranks)), int(rng.integers(nranks))
+        sends[(src, dst)] = rng.normal(size=int(rng.integers(1, 16)))
+    return sends
+
+
+def _stats_dict(stats):
+    out = dict(stats.__dict__)
+    return out
+
+
+# -- collectives -----------------------------------------------------------------
+
+
+class TestCollectiveEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(nranks=world_sizes, seed=seeds, op=ops)
+    def test_allreduce_scalar_bitmatch(self, nranks, seed, op):
+        values = np.random.default_rng(seed).normal(size=nranks).tolist()
+        legacy, batched = _paired_worlds(nranks)
+        a = legacy.allreduce_scalar(list(values), op=op)
+        b = batched.allreduce_scalar(list(values), op=op)
+        assert a == b and np.signbit(a) == np.signbit(b)
+        assert _stats_dict(legacy.stats) == _stats_dict(batched.stats)
+
+    @settings(max_examples=25, deadline=None)
+    @given(nranks=world_sizes, seed=seeds, op=ops)
+    def test_allreduce_array_bitmatch(self, nranks, seed, op):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.normal(size=(3, 2)) for _ in range(nranks)]
+        legacy, batched = _paired_worlds(nranks)
+        a = legacy.allreduce_array([x.copy() for x in arrays], op=op)
+        b = batched.allreduce_array([x.copy() for x in arrays], op=op)
+        assert a.tobytes() == b.tobytes()
+        assert _stats_dict(legacy.stats) == _stats_dict(batched.stats)
+
+    @settings(max_examples=25, deadline=None)
+    @given(nranks=world_sizes, seed=seeds)
+    def test_gather_and_barrier_bitmatch(self, nranks, seed):
+        rng = np.random.default_rng(seed)
+        values = [rng.normal(size=4) for _ in range(nranks)]
+        root = int(rng.integers(nranks))
+        legacy, batched = _paired_worlds(nranks)
+        ga = legacy.gather([v.copy() for v in values], root=root)
+        gb = batched.gather([v.copy() for v in values], root=root)
+        legacy.barrier()
+        batched.barrier()
+        assert all(x.tobytes() == y.tobytes() for x, y in zip(ga, gb))
+        assert _stats_dict(legacy.stats) == _stats_dict(batched.stats)
+
+
+# -- point-to-point --------------------------------------------------------------
+
+
+class TestExchangeEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(nranks=world_sizes, seed=seeds)
+    def test_exchange_bitmatch(self, nranks, seed):
+        rng = np.random.default_rng(seed)
+        sends = _random_sends(nranks, rng)
+        legacy, batched = _paired_worlds(nranks)
+        da = legacy.exchange({k: v.copy() for k, v in sends.items()})
+        db = batched.exchange({k: v.copy() for k, v in sends.items()})
+        assert set(da) == set(db)
+        for key in da:
+            assert da[key].tobytes() == db[key].tobytes()
+        assert _stats_dict(legacy.stats) == _stats_dict(batched.stats)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nranks=world_sizes, seed=seeds)
+    def test_injected_fault_outcomes_bitmatch(self, nranks, seed):
+        """Same fault seed => same drops/corruptions/stats on both worlds."""
+        rng = np.random.default_rng(seed)
+        sends = _random_sends(nranks, rng)
+
+        def faulted(world_cls):
+            return world_cls(
+                nranks,
+                fault_injector=FaultInjector(
+                    seed=seed, drop_rate=0.3, corrupt_rate=0.2, delay_rate=0.1
+                ),
+            )
+
+        legacy = faulted(SimWorld)
+        batched = faulted(BatchedWorld)
+        da = legacy.exchange({k: v.copy() for k, v in sends.items()})
+        db = batched.exchange({k: v.copy() for k, v in sends.items()})
+        for key in da:
+            assert da[key].tobytes() == db[key].tobytes()
+        assert _stats_dict(legacy.stats) == _stats_dict(batched.stats)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nranks=world_sizes, seed=seeds)
+    def test_reliable_channel_outcomes_bitmatch(self, nranks, seed):
+        """Retry policy engaged: retransmission counters must match too."""
+        rng = np.random.default_rng(seed)
+        sends = _random_sends(nranks, rng)
+
+        def hardened(world_cls):
+            return world_cls(
+                nranks,
+                fault_injector=FaultInjector(seed=seed, drop_rate=0.3),
+                retry=RetryPolicy(seed=seed, max_retries=6),
+            )
+
+        def outcome(world):
+            # Exhausted retries raise; the two engines must then raise
+            # identically, so compare exception types as part of the outcome.
+            try:
+                return world.exchange({k: v.copy() for k, v in sends.items()})
+            except Exception as exc:  # noqa: BLE001 -- compared, not hidden
+                return type(exc).__name__
+
+        legacy = hardened(SimWorld)
+        batched = hardened(BatchedWorld)
+        da = outcome(legacy)
+        db = outcome(batched)
+        if isinstance(da, str) or isinstance(db, str):
+            assert da == db
+        else:
+            for key in da:
+                assert da[key].tobytes() == db[key].tobytes()
+        assert _stats_dict(legacy.stats) == _stats_dict(batched.stats)
+
+
+# -- gather-scatter --------------------------------------------------------------
+
+
+class TestGatherScatterEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shape=mesh_shapes,
+        lx=st.integers(min_value=2, max_value=4),
+        nranks=st.integers(min_value=2, max_value=6),
+        rpn=st.integers(min_value=1, max_value=4),
+        seed=seeds,
+    )
+    def test_flat_equals_topology_to_zero_ulp(self, shape, lx, nranks, rpn, seed):
+        ids, owner, fshape = _mesh_and_partition(shape, lx, nranks, seed)
+        world = BatchedWorld(nranks)
+        gs = BatchedGatherScatter(
+            ids, owner, fshape, world, topology=NodeTopology(nranks, rpn)
+        )
+        u = np.random.default_rng(seed).normal(size=fshape)
+        assert gs.add(u, "flat").tobytes() == gs.add(u, "topology").tobytes()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shape=mesh_shapes,
+        lx=st.integers(min_value=2, max_value=4),
+        nranks=st.integers(min_value=2, max_value=6),
+        seed=seeds,
+    )
+    def test_batched_bitmatches_legacy_dgs(self, shape, lx, nranks, seed):
+        """Results AND TrafficStats match the per-rank object path exactly."""
+        ids, owner, fshape = _mesh_and_partition(shape, lx, nranks, seed)
+        u = np.random.default_rng(seed).normal(size=fshape)
+
+        legacy_world = SimWorld(nranks)
+        dgs = DistributedGatherScatter(ids, owner, fshape, legacy_world)
+        legacy = dgs.add_full(u.copy())
+
+        batched_world = BatchedWorld(nranks)
+        gs = BatchedGatherScatter(ids, owner, fshape, batched_world)
+        batched = gs.add(u.copy(), "flat")
+
+        assert legacy.tobytes() == batched.tobytes()
+        assert _stats_dict(legacy_world.stats) == _stats_dict(batched_world.stats)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        shape=mesh_shapes,
+        lx=st.integers(min_value=2, max_value=4),
+        nranks=st.integers(min_value=1, max_value=6),
+        seed=seeds,
+    )
+    def test_matches_serial_reference(self, shape, lx, nranks, seed):
+        """The distributed dssum equals a one-pass serial bincount dssum."""
+        ids, owner, fshape = _mesh_and_partition(shape, lx, nranks, seed)
+        u = np.random.default_rng(seed).normal(size=fshape)
+        totals = np.bincount(ids, weights=u.reshape(-1))
+        reference = totals[ids].reshape(fshape)
+        world = BatchedWorld(nranks)
+        gs = BatchedGatherScatter(ids, owner, fshape, world)
+        assert np.allclose(gs.add(u, "flat"), reference, rtol=1e-13, atol=1e-13)
+
+    def test_topology_moves_traffic_off_the_network(self):
+        """Staging reduces inter-node messages without changing bytes entering ranks."""
+        ids, owner, fshape = _mesh_and_partition((3, 3, 3), 3, 6, seed=7)
+        world = BatchedWorld(6)
+        gs = BatchedGatherScatter(ids, owner, fshape, world, topology=NodeTopology(6, 2))
+        flat = gs.traffic_summary("flat")
+        topo = gs.traffic_summary("topology")
+        assert topo["inter_messages"] <= flat["inter_messages"]
+
+    def test_batched_world_required(self):
+        ids, owner, fshape = _mesh_and_partition((2, 2, 2), 3, 2, seed=0)
+        with pytest.raises(TypeError):
+            BatchedGatherScatter(ids, owner, fshape, SimWorld(2))
+
+    def test_faulted_world_refused(self):
+        ids, owner, fshape = _mesh_and_partition((2, 2, 2), 3, 2, seed=0)
+        world = BatchedWorld(2, fault_injector=FaultInjector(seed=1, drop_rate=0.5))
+        with pytest.raises(ValueError):
+            BatchedGatherScatter(ids, owner, fshape, world)
+
+    def test_batched_exchange_refuses_faulted_world(self):
+        world = BatchedWorld(2, fault_injector=FaultInjector(seed=1, drop_rate=0.5))
+        with pytest.raises(RuntimeError):
+            world.exchange_batched(
+                np.array([0]), np.array([1]), np.array([8])
+            )

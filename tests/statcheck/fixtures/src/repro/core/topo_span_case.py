@@ -1,0 +1,19 @@
+"""Fixture: the topology/scaling span+metric families are registered.
+
+Every literal name here belongs to the ``topo.`` or ``scaling.`` prefix
+families added to the phase registry by the simulated-exascale comm
+engine, so the span-hygiene rule must produce zero findings for this
+module.  Linted by tests, never imported.
+"""
+
+
+def run(tracer, metrics, n_ranks):
+    with tracer.span("topo.stage_up", ranks=n_ranks):  # registered topo.* span
+        pass
+    with tracer.span("topo.stage_inter"):  # registered topo.* span
+        tracer.event("topo.intra", direction="request")  # registered topo.* event
+    with tracer.span("scaling.campaign", machine="lumi"):  # registered scaling.* span
+        pass
+    metrics.counter("topo.inter_messages").inc()  # registered topo.* metric
+    metrics.gauge("scaling.efficiency").set(1.0)  # registered scaling.* metric
+    metrics.histogram("scaling.step_us").record(2.5)  # registered scaling.* metric

@@ -1,0 +1,34 @@
+"""Fixture: the batched exchange path is in the hot-loop-allocation scope.
+
+The module name deliberately shadows ``repro.comm.batched`` -- the analyzer
+matches hot *modules* exactly, so this file is linted under the real
+module's rules without importing it.  The allocator-free fill-loop idiom
+the production code uses must stay silent; a naive per-message allocation
+must be flagged.  Linted by tests, never imported.
+"""
+
+import numpy as np
+
+
+def fill_loop_is_clean(sends, buf, offsets):
+    # The production idiom: one preallocated flat buffer, per-message
+    # slice assignment.  No allocator inside the loop.
+    for i, (key, payload) in enumerate(sends):
+        start = offsets[i]
+        buf[start : start + payload.size] = payload.reshape(-1)
+    return buf
+
+
+def per_message_allocation_is_flagged(sends):
+    out = []
+    for key, payload in sends:
+        out.append(np.array(payload, copy=True))  # fresh array per message
+    return out
+
+
+class BatchedState:
+    def __init__(self, n_ranks, max_bytes):
+        # Setup methods may allocate freely: buffers are hoisted here.
+        self.bufs = []
+        for _ in range(n_ranks):
+            self.bufs.append(np.zeros(max_bytes // 8))

@@ -85,6 +85,34 @@ class TestEngineIntegration:
         assert lines == [16, 25, 33, 43, 56]
 
 
+class TestBatchedExchangeScope:
+    """repro.comm.batched is a hot module: its fill loops stay allocator-free."""
+
+    FIXTURE = (
+        Path(__file__).parent / "fixtures_analyzers/src/repro/comm/batched.py"
+    )
+
+    def _findings(self):
+        project = Project.load([self.FIXTURE], root=self.FIXTURE.parents[3])
+        return sorted(
+            HotLoopAllocationAnalyzer().check(project), key=lambda f: f.line
+        )
+
+    def test_fill_loop_idiom_is_silent(self):
+        lines = [f.line for f in self._findings()]
+        assert not any(14 <= line <= 19 for line in lines)  # fill_loop_is_clean
+
+    def test_per_message_allocation_is_flagged(self):
+        by_line = {f.line: f for f in self._findings()}
+        assert [*by_line] == [25]
+        assert "'np.array'" in by_line[25].message
+        assert by_line[25].severity == Severity.WARNING
+
+    def test_setup_buffers_are_exempt(self):
+        lines = [f.line for f in self._findings()]
+        assert not any(line >= 29 for line in lines)  # BatchedState.__init__
+
+
 class TestScope:
     def test_cold_packages_are_ignored(self, tmp_path):
         mod = tmp_path / "src" / "repro" / "observability" / "alloc.py"

@@ -99,6 +99,15 @@ class TestSpanHygiene:
         )
         assert findings == []
 
+    def test_topo_and_scaling_families_are_registered(self):
+        # The simulated-exascale comm engine's staged-exchange spans
+        # (topo.*) and campaign metrics (scaling.*) are registered
+        # families: a module using only them is clean.
+        findings = run_rule(
+            "span-hygiene", FIXTURES / "src/repro/core/topo_span_case.py"
+        )
+        assert findings == []
+
 
 class TestResourceDiscipline:
     def test_flags_raw_open_and_bare_except(self):
